@@ -1,0 +1,86 @@
+"""Ablation benches over HC3I's design choices (see DESIGN.md §4).
+
+* transitive DDV piggybacking (§7) vs SN vs force-always (Fig. 4),
+* sender-side message logging on/off (§3.3),
+* garbage-collection period (§5.4 trade-off),
+* stable-storage replication degree (§7).
+"""
+
+from benchmarks.conftest import HOUR, run_once
+from repro.experiments.ablations import (
+    gc_period_sweep,
+    incremental_checkpoint_ablation,
+    message_logging_ablation,
+    replication_degree_sweep,
+    transitive_ddv_ablation,
+)
+
+
+def test_ablation_transitive_ddv(benchmark, record_result):
+    exp = run_once(
+        benchmark, transitive_ddv_ablation,
+        nodes_per_stage=20, n_stages=4, total_time=4 * HOUR, seed=42,
+    )
+    record_result("ablation_transitive_ddv", exp.render())
+    forced = {row[0]: row[1] for row in exp.rows}
+    assert forced["hc3i-transitive"] <= forced["hc3i"]
+    assert forced["cic-always"] > forced["hc3i"]
+    msgs = {row[0]: row[3] for row in exp.rows}
+    assert forced["cic-always"] == msgs["cic-always"]  # one CLC per message
+
+
+def test_ablation_message_logging(benchmark, record_result):
+    exp = run_once(
+        benchmark, message_logging_ablation,
+        nodes=20, total_time=4 * HOUR, seed=42,
+    )
+    record_result("ablation_message_logging", exp.render())
+    with_log, without_log = exp.rows
+    # §3.3's goal: the log limits the number of clusters that roll back
+    assert without_log[3] >= with_log[3]
+    assert without_log[5] >= with_log[5]  # and without it more work is lost
+
+
+def test_ablation_gc_period(benchmark, scale, record_result):
+    exp = run_once(
+        benchmark, gc_period_sweep,
+        periods_h=[0.5, 1, 2, 4, None],
+        nodes=min(50, scale["nodes"]),
+        total_time=scale["total_time"],
+        seed=42,
+    )
+    record_result("ablation_gc_period", exp.render())
+    peaks = [row[1] for row in exp.rows]
+    gc_msgs = [row[5] for row in exp.rows]
+    # §5.4's trade-off: more frequent GC -> lower peak storage, more traffic
+    assert peaks[0] <= peaks[-1]
+    assert gc_msgs[0] >= gc_msgs[-2]  # 0.5h GC sends more than 4h GC
+    assert gc_msgs[-1] == 0           # GC off sends nothing
+
+
+def test_ablation_incremental_storage(benchmark, record_result):
+    exp = run_once(
+        benchmark, incremental_checkpoint_ablation,
+        nodes=20, total_time=4 * HOUR, seed=42,
+    )
+    record_result("ablation_incremental_storage", exp.render())
+    full, inc = exp.rows
+    assert inc[3] < full[3]       # delta replication moves fewer bytes
+    assert abs(inc[1] - full[1]) <= 4  # without changing the CLC schedule
+
+
+def test_ablation_replication_degree(benchmark, record_result):
+    exp = run_once(
+        benchmark, replication_degree_sweep,
+        degrees=(0, 1, 2, 3), nodes=20, total_time=2 * HOUR, seed=42,
+    )
+    record_result("ablation_replication", exp.render())
+    rows = {row[0]: row for row in exp.rows}
+    assert [rows[d][1] for d in (0, 1, 2, 3)] == [0, 1, 2, 3]
+    # replica traffic scales linearly with the degree
+    base = rows[1][4]
+    assert rows[2][4] == 2 * base
+    assert rows[3][4] == 3 * base
+    # states per node = stored * (1 + degree)
+    for d in (0, 1, 2, 3):
+        assert rows[d][3] == rows[d][2] * (1 + d)

@@ -1,0 +1,29 @@
+"""Protocol-family comparison bench (§2.2/§6 positioning).
+
+HC3I vs global coordinated checkpointing, independent checkpointing and
+pessimistic message logging on identical workloads and failure schedules.
+"""
+
+from benchmarks.conftest import HOUR, run_once
+from repro.experiments.ablations import baseline_comparison
+
+
+def test_baseline_comparison(benchmark, record_result):
+    exp = run_once(
+        benchmark, baseline_comparison, nodes=20, total_time=4 * HOUR, seed=42
+    )
+    record_result("baseline_comparison", exp.render())
+
+    rows = {row[0]: row for row in exp.rows}
+    # the paper's qualitative claims:
+    # 1. global coordination rolls back every cluster on any failure
+    assert rows["global-coordinated"][3] == 2.0
+    # 2. HC3I's rollback scope is no larger than global coordination's
+    assert rows["hc3i"][3] <= rows["global-coordinated"][3]
+    # 3. global coordination loses the most work per failure
+    assert rows["global-coordinated"][4] >= rows["hc3i"][4]
+    # 4. pessimistic logging logs far more bytes than anyone else
+    others = max(rows[p][5] for p in rows if p != "pessimistic-log")
+    assert rows["pessimistic-log"][5] > others
+    # 5. global coordination's freeze spans WAN latency
+    assert rows["global-coordinated"][6] > 0.25  # ms

@@ -1,0 +1,42 @@
+"""Figure 6 -- CLCs committed in cluster 0 vs its unforced-CLC timer.
+
+Paper shape: unforced CLCs fall as ~ total_time/delay (a bit below, since
+forced CLCs reset the timer); forced CLCs stay constant (~8 at full scale,
+caused by the ~11 messages arriving from cluster 1 regardless of the
+timer).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.plots import ascii_plot
+from repro.analysis.reporting import format_series
+from repro.experiments.fig6_fig7 import clc_delay_sweep
+
+DELAYS_MIN = [5, 10, 15, 20, 30, 45, 60, 90, 120]
+
+
+def test_fig6_cluster0_clcs(benchmark, scale, record_result):
+    exp = run_once(
+        benchmark, clc_delay_sweep, delays_min=DELAYS_MIN, seed=42, **scale
+    )
+    c0_series = {k: v for k, v in exp.series.items() if k.startswith("c0")}
+    rendered = format_series(
+        "delay (min)",
+        exp.xs,
+        c0_series,
+        title="Figure 6 -- Interval Between CLCs Influence in Cluster 0",
+    )
+    plot = ascii_plot(
+        exp.xs, c0_series, title="Figure 6 (plotted)", x_label="delay (min)"
+    )
+    record_result(
+        "fig6_clc_cluster0", rendered + "\n\n" + plot + "\n\n" + exp.render()
+    )
+
+    unforced = exp.series["c0 unforced"]
+    forced = exp.series["c0 forced"]
+    # decreasing ~ total/delay
+    assert all(a >= b for a, b in zip(unforced, unforced[1:]))
+    for delay, count in zip(exp.xs, unforced):
+        assert count <= scale["total_time"] / (delay * 60.0) + 1
+    # forced roughly constant across two orders of magnitude of the timer
+    assert max(forced) - min(forced) <= max(3, max(forced) // 2)

@@ -1,0 +1,48 @@
+"""Figure 7 -- CLCs committed in cluster 1 during the Figure 6 sweep.
+
+Paper shape: cluster 1's timer is infinite, so it commits **no** unforced
+CLCs; its forced CLCs are proportional to the number of CLCs stored in
+cluster 0, "because numerous messages come from cluster 0" (~145 messages,
+each forcing at most once per new cluster-0 SN).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_series
+from repro.experiments.fig6_fig7 import clc_delay_sweep
+
+DELAYS_MIN = [5, 10, 15, 20, 30, 45, 60, 90, 120]
+
+
+def test_fig7_cluster1_clcs(benchmark, scale, record_result):
+    exp = run_once(
+        benchmark, clc_delay_sweep, delays_min=DELAYS_MIN, seed=43, **scale
+    )
+    rendered = format_series(
+        "delay (min)",
+        exp.xs,
+        {
+            "c1 unforced": exp.series["c1 unforced"],
+            "c1 forced": exp.series["c1 forced"],
+            "c0 total": [
+                u + f + 1
+                for u, f in zip(exp.series["c0 unforced"], exp.series["c0 forced"])
+            ],
+        },
+        title="Figure 7 -- Interval Between CLCs Influence in Cluster 1",
+    )
+    record_result("fig7_clc_cluster1", rendered)
+
+    assert all(v == 0 for v in exp.series["c1 unforced"])
+    c0_total = [
+        u + f + 1
+        for u, f in zip(exp.series["c0 unforced"], exp.series["c0 forced"])
+    ]
+    c1_forced = exp.series["c1 forced"]
+    # proportionality: more cluster-0 CLCs -> more forced CLCs in cluster 1
+    assert c1_forced[0] >= c1_forced[-1]
+    for total, forced in zip(c0_total, c1_forced):
+        assert forced <= total + 2
+    # at full scale the correlation is strong: check rank agreement on the
+    # sweep extremes
+    if c0_total[0] > 2 * c0_total[-1]:
+        assert c1_forced[0] >= c1_forced[-1]

@@ -1,0 +1,26 @@
+"""Figure 8 -- increasing the number of CLCs in cluster 1.
+
+Paper shape: with cluster 0's timer at 30 min, sweeping cluster 1's timer
+from 15 to 60 min changes cluster 1's totals but cluster 0 "do[es] not
+store more CLCs even if cluster 1 timer is set to 15 minutes", thanks to
+the low 1->0 message count.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8 import cluster1_timer_sweep
+
+DELAYS_MIN = [15, 20, 25, 30, 40, 50, 60]
+
+
+def test_fig8_cluster1_timer(benchmark, scale, record_result):
+    exp = run_once(
+        benchmark, cluster1_timer_sweep, delays_min=DELAYS_MIN, seed=42, **scale
+    )
+    record_result("fig8_cluster1_timer", exp.render())
+
+    c0_total = exp.series["c0 total"]
+    c1_total = exp.series["c1 total"]
+    # cluster 0 insensitive to cluster 1's timer
+    assert max(c0_total) - min(c0_total) <= max(2, max(c0_total) // 8)
+    # cluster 1's own totals fall as its timer grows
+    assert c1_total[0] >= c1_total[-1]

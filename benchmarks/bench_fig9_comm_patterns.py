@@ -1,0 +1,41 @@
+"""Figure 9 -- increasing communication from cluster 1 to cluster 0.
+
+Paper shape: "The number of forced CLCs increases fast with the number of
+messages from cluster 1 to cluster 0" -- bidirectional chatter makes SNs
+grow on both sides and most messages force a CLC, which is exactly the
+workload the protocol is *not* meant for (§5.3).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.plots import ascii_plot
+from repro.experiments.fig9 import communication_pattern_sweep
+
+MESSAGE_COUNTS = [10, 30, 50, 70, 90, 110]
+
+
+def test_fig9_communication_patterns(benchmark, scale, record_result):
+    exp = run_once(
+        benchmark,
+        communication_pattern_sweep,
+        message_counts=MESSAGE_COUNTS,
+        seed=42,
+        **scale,
+    )
+    plot = ascii_plot(
+        exp.xs,
+        {k: exp.series[k] for k in ("c0 forced", "c0 total", "c1 forced")},
+        title="Figure 9 (plotted)",
+        x_label="msgs 1->0",
+    )
+    record_result("fig9_comm_patterns", exp.render() + "\n\n" + plot)
+
+    c0_forced = exp.series["c0 forced"]
+    c1_forced = exp.series["c1 forced"]
+    c0_total = exp.series["c0 total"]
+    # fast growth of forced CLCs in cluster 0 with the 1->0 flow
+    assert c0_forced[-1] > c0_forced[0]
+    assert c0_forced[-1] >= 2 * max(1, c0_forced[0])
+    # totals grow too
+    assert c0_total[-1] > c0_total[0]
+    # cluster 1 keeps forcing as well (bidirectional SN growth)
+    assert c1_forced[-1] >= c1_forced[0]

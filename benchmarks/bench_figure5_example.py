@@ -1,0 +1,35 @@
+"""Figure 5 -- the protocol's worked example as a regression benchmark.
+
+Asserts the full §4 narrative: which messages force CLCs, the ack SNs, the
+rollback targets and the alert cascade after the fault in the middle
+cluster.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.experiments.figure5 import figure5_scenario
+
+
+def test_figure5_worked_example(benchmark, record_result):
+    outcome = run_once(benchmark, figure5_scenario)
+
+    rows = [
+        ("pre-fault SNs", str(outcome.pre_fault_sns)),
+        ("pre-fault DDVs", str(outcome.pre_fault_ddvs)),
+        ("forced CLCs", str(outcome.pre_fault_forced)),
+        ("acks m1..m5", str([outcome.acks[m] for m in ("m1", "m2", "m3", "m4", "m5")])),
+        ("rollbacks", str(outcome.rollbacks)),
+        ("alerts", str(outcome.alerts)),
+        ("replays", str(outcome.replays)),
+    ]
+    record_result(
+        "figure5_example",
+        format_table(["step", "value"], rows, title="Figure 5 worked example"),
+    )
+
+    assert outcome.pre_fault_sns == [2, 4, 3]
+    assert outcome.pre_fault_forced == [1, 1, 2]
+    assert outcome.acks == {"m1": 2, "m2": 3, "m3": 2, "m4": 3, "m5": 2}
+    assert outcome.rollbacks == [(1, 4), (2, 3), (0, 2)]
+    assert outcome.alerts == [(1, 4), (2, 3), (0, 2)]
+    assert outcome.replays == 0

@@ -1,0 +1,32 @@
+"""§5.2 protocol cost bench: traffic and storage decomposition.
+
+Regenerates the section's qualitative claims: with the CLC timer off, the
+protocol's only network cost is one piggybacked integer per inter-cluster
+message (plus acks); checkpoint-related traffic and storage grow as the
+timer tightens.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.overhead import protocol_overhead
+
+
+def test_protocol_overhead(benchmark, scale, record_result):
+    exp = run_once(benchmark, protocol_overhead, seed=42, **scale)
+    record_result("overhead_decomposition", exp.render())
+
+    rows = {row[0]: row for row in exp.rows}
+    off = rows["off"]
+    tightest = exp.rows[-1]
+    # Timer off is the cheapest regime.  Note it is NOT checkpoint-free
+    # here: the workload is bidirectional, so inter-cluster messages still
+    # force CLCs (the §5.3 effect); only the unforced ones disappear.
+    assert off[1] == min(row[1] for row in exp.rows)
+    assert tightest[1] > off[1]
+    assert tightest[3] > off[3]   # more 2PC bytes with a tighter timer
+    assert tightest[5] > off[5]   # more replica bytes
+    assert tightest[7] >= off[7]  # more stored checkpoint bytes
+    # piggyback volume is workload-bound, not timer-bound
+    piggy = [row[2] for row in exp.rows]
+    assert max(piggy) - min(piggy) <= 0.2 * max(piggy) + 64
+    # control overhead grows monotonically as checkpointing tightens
+    assert tightest[8] >= off[8]

@@ -1,0 +1,56 @@
+"""Robustness (multi-seed), failure-rate sweep and scalability benches."""
+
+from benchmarks.conftest import HOUR, bench_scale, run_once
+from repro.experiments.failure_sweep import mtbf_sweep
+from repro.experiments.robustness import multi_seed_robustness
+from repro.experiments.scalability import federation_scaling
+
+
+def test_multi_seed_robustness(benchmark, scale, record_result):
+    seeds = range(1, 6) if scale["nodes"] < 100 else range(1, 11)
+    exp = run_once(benchmark, multi_seed_robustness, seeds=list(seeds), **scale)
+    record_result("robustness_multi_seed", exp.render())
+
+    by_name = {row[0]: row for row in exp.rows}
+    # Fig. 7: unforced CLCs in cluster 1 are zero for EVERY seed
+    assert by_name["c1 unforced"][4] == 0  # max over seeds
+    # Table 1 structure: intra dominates inter across all seeds
+    assert by_name["msgs 0->0"][3] > by_name["msgs 0->1"][4]
+    assert by_name["msgs 1->1"][3] > by_name["msgs 1->0"][4]
+    # Fig. 6: the forced count's spread is small (constant-ish)
+    forced = by_name["c0 forced"]
+    assert forced[2] <= max(2.0, 0.6 * forced[1])  # std <= 60% of mean
+
+
+def test_mtbf_sweep(benchmark, record_result):
+    exp = run_once(
+        benchmark, mtbf_sweep,
+        mtbfs=[4 * HOUR, HOUR, HOUR / 2],
+        nodes=10,
+        total_time=8 * HOUR,
+        seed=42,
+    )
+    record_result("mtbf_sweep", exp.render())
+
+    by_key = {(row[0], row[1]): row for row in exp.rows}
+    # goodput decreases (weakly) as failures become more frequent
+    for protocol in ("hc3i", "global-coordinated"):
+        goodputs = [by_key[(protocol, m)][4] for m in ("4h", "1h", "0.5h")]
+        assert goodputs[0] >= goodputs[-1]
+    # HC3I loses no more work than whole-federation rollback at high rates
+    assert by_key[("hc3i", "0.5h")][4] >= by_key[("global-coordinated", "0.5h")][4]
+
+
+def test_federation_scaling(benchmark, record_result):
+    shapes = [(2, 10), (2, 50), (4, 25), (8, 12)]
+    if bench_scale()["nodes"] >= 100:
+        shapes += [(2, 100), (16, 12)]
+    exp = run_once(benchmark, federation_scaling, shapes=shapes)
+    record_result("federation_scaling", exp.render())
+
+    events = {row[0]: row[2] for row in exp.rows}
+    rates = [row[6] for row in exp.rows]
+    # larger federations process more events, and the kernel sustains a
+    # healthy event rate throughout
+    assert events["2x50"] > events["2x10"]
+    assert min(rates) > 10_000

@@ -1,0 +1,61 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper experiment: these track the DES kernel's throughput so
+regressions in the substrate (which every experiment sits on) are visible.
+"""
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process, Timeout
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule+dispatch cost of raw kernel events."""
+
+    def run():
+        sim = Simulator()
+
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 50_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 50_000
+
+
+def test_process_switch_throughput(benchmark):
+    """Generator-process resume cost (the app-loop hot path)."""
+
+    def run():
+        sim = Simulator()
+
+        def proc():
+            for _ in range(10_000):
+                yield Timeout(1.0)
+
+        procs = [Process(sim, proc()) for _ in range(5)]
+        sim.run()
+        return sum(not p.alive for p in procs)
+
+    assert benchmark(run) == 5
+
+
+def test_full_federation_run(benchmark):
+    """End-to-end cost of one small federation simulation."""
+    from repro.app.workloads import table1_workload
+    from repro.cluster.federation import Federation
+
+    def run():
+        topology, application, timers = table1_workload(
+            nodes=20, total_time=7200.0
+        )
+        fed = Federation(topology, application, timers, seed=1)
+        return fed.run().events
+
+    assert benchmark(run) > 0

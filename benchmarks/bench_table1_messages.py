@@ -1,0 +1,25 @@
+"""Table 1 -- application message counts (paper §5.2).
+
+Paper rows: 0->0: 2920, 1->1: 2497, 0->1: 145, 1->0: 11.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import PAPER_TABLE1, table1_message_counts
+
+
+def test_table1_message_counts(benchmark, scale, record_result):
+    exp = run_once(benchmark, table1_message_counts, seed=42, **scale)
+    record_result("table1_messages", exp.render())
+
+    measured = {
+        (int(row[0][-1]), int(row[1][-1])): row[2] for row in exp.rows
+    }
+    scale_factor = (scale["nodes"] * scale["total_time"]) / (100 * 36000.0)
+    for flow, paper_count in PAPER_TABLE1.items():
+        expected = paper_count * scale_factor
+        # Poisson-level noise: within 40% + slack for the sparse flows
+        assert measured[flow] <= expected * 1.4 + 8
+        assert measured[flow] >= expected * 0.6 - 8
+    # the paper's dominance structure
+    assert measured[(0, 0)] > measured[(0, 1)] > measured[(1, 0)]
+    assert measured[(1, 1)] > measured[(1, 0)]

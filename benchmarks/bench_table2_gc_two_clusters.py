@@ -1,0 +1,32 @@
+"""Table 2 -- stored CLCs before/after each garbage collection (2 clusters).
+
+Paper: Fig. 9 scenario with 103 messages 1->0, GC every 2 hours; before
+10-18 CLCs, after 2; without GC 63 CLCs per cluster accumulate (= 126
+local states per node with neighbour replication).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2_table3 import gc_two_clusters, no_gc_reference
+
+
+def _run_both(scale):
+    exp = gc_two_clusters(seed=42, **scale)
+    ref = no_gc_reference(seed=42, **scale)
+    return exp, ref
+
+
+def test_table2_gc_two_clusters(benchmark, scale, record_result):
+    exp, ref = run_once(benchmark, _run_both, scale)
+    record_result("table2_gc_two_clusters", exp.render() + "\n\n" + ref.render())
+
+    assert len(exp.rows) >= 3  # one row per garbage collection
+    for row in exp.rows:
+        _, b0, a0, b1, a1 = row
+        assert a0 <= b0 and a1 <= b1
+        assert a0 <= 3 and a1 <= 3   # paper: 2 just after each GC
+
+    # §5.4 sizing without GC: CLCs accumulate; states/node doubles them
+    for _cluster, stored, states, _peak in ref.rows:
+        assert states == 2 * stored
+        if scale["nodes"] == 100 and scale["total_time"] == 36000.0:
+            assert 40 <= stored <= 90  # paper: 63

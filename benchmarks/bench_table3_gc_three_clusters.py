@@ -1,0 +1,24 @@
+"""Table 3 -- stored CLCs before/after each GC with three clusters.
+
+Paper: cluster 2 clones cluster 1, ~200 messages leave/arrive per cluster;
+before 30-80 CLCs, after 2 per cluster.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2_table3 import gc_three_clusters
+
+
+def test_table3_gc_three_clusters(benchmark, scale, record_result):
+    exp = run_once(benchmark, gc_three_clusters, seed=42, **scale)
+    record_result("table3_gc_three_clusters", exp.render())
+
+    assert len(exp.rows) >= 3
+    for row in exp.rows:
+        befores = row[1::2]
+        afters = row[2::2]
+        for before, after in zip(befores, afters):
+            assert after <= before
+            assert after <= 3  # paper: 2
+        if scale["nodes"] == 100:
+            # heavy three-way chatter accumulates tens of CLCs per period
+            assert max(befores) >= 8

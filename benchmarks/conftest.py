@@ -1,0 +1,55 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table or figure of the paper at full scale
+(100 nodes per cluster, 10-hour application) unless ``HC3I_BENCH_SCALE``
+says otherwise:
+
+* ``HC3I_BENCH_SCALE=full``  (default) -- the paper's configuration,
+* ``HC3I_BENCH_SCALE=small`` -- 10 nodes / 2 hours, for quick checks.
+
+Each bench runs its experiment exactly once under ``benchmark.pedantic``
+(the simulation itself is deterministic; repeating it only wastes time),
+prints the paper-style rows, and writes them to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+HOUR = 3600.0
+
+
+def bench_scale() -> dict:
+    mode = os.environ.get("HC3I_BENCH_SCALE", "full")
+    if mode == "small":
+        return {"nodes": 10, "total_time": 2 * HOUR}
+    return {"nodes": 100, "total_time": 10 * HOUR}
+
+
+@pytest.fixture
+def scale() -> dict:
+    return bench_scale()
+
+
+@pytest.fixture
+def record_result():
+    """Print the experiment output and persist it under results/."""
+
+    def _record(name: str, rendered: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n")
+        print()
+        print(rendered)
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic experiment exactly once, timed."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

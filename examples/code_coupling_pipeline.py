@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The Figure 1 scenario: Simulation -> Treatment -> Display.
+
+A code-coupling application spread over three clusters, each hosting one
+module; results stream downstream over the federation's slow links.  The
+example contrasts the paper's protocol with the §7 *transitive* variant
+(whole-DDV piggybacking) and the naive force-on-every-message policy,
+showing how each handles pipelined inter-cluster dependencies.
+
+Run:  python examples/code_coupling_pipeline.py
+"""
+
+from repro import Federation, pipeline_workload
+from repro.analysis.reporting import format_table
+
+STAGES = ["simulation", "treatment", "display"]
+
+
+def run(protocol: str, seed: int = 11):
+    topology, application, timers = pipeline_workload(
+        nodes_per_stage=10,
+        n_stages=3,
+        total_time=2 * 3600.0,
+        mean_compute=90.0,
+        forward_probability=0.04,
+        clc_period=10 * 60.0,
+    )
+    fed = Federation(topology, application, timers, protocol=protocol, seed=seed)
+    return fed, fed.run()
+
+
+def main() -> None:
+    comparison = []
+    for protocol in ("hc3i", "hc3i-transitive", "cic-always"):
+        fed, results = run(protocol)
+        forced = [results.clc_counts(c)["forced"] for c in range(3)]
+        total = [results.clc_counts(c)["total"] for c in range(3)]
+        downstream = [results.app_messages(0, 1), results.app_messages(1, 2)]
+        comparison.append((
+            protocol,
+            *forced,
+            sum(forced),
+            sum(total),
+            sum(downstream),
+        ))
+        if protocol == "hc3i":
+            print("Per-stage view (hc3i):")
+            rows = [
+                (
+                    STAGES[c],
+                    results.clc_counts(c)["unforced"],
+                    results.clc_counts(c)["forced"],
+                    results.stored_clcs(c),
+                )
+                for c in range(3)
+            ]
+            print(format_table(
+                ["stage", "unforced CLCs", "forced CLCs", "stored"], rows
+            ))
+            print()
+
+    print(format_table(
+        [
+            "protocol",
+            "forced@sim",
+            "forced@treat",
+            "forced@disp",
+            "forced total",
+            "CLC total",
+            "downstream msgs",
+        ],
+        comparison,
+        title="Dependency-tracking policies on the pipeline",
+    ))
+    print()
+    print("Reading the table: the display stage only hears from treatment,")
+    print("so with plain SN piggybacking it re-checkpoints whenever treatment")
+    print("checkpointed; the transitive variant also learns simulation's SNs")
+    print("through treatment, while force-always pays one CLC per message.")
+
+
+if __name__ == "__main__":
+    main()

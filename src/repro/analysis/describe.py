@@ -1,0 +1,74 @@
+"""Human-readable protocol state dumps (debugging / examples).
+
+``describe_federation`` prints what an operator would ask the system:
+per-cluster SN, DDV, stored CLCs with their stamps, sender-log occupancy,
+incarnation epoch and recovery status.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.reporting import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.federation import Federation
+
+__all__ = ["describe_federation"]
+
+
+def describe_federation(federation: "Federation", include_clcs: bool = True) -> str:
+    """Render the current protocol state of every cluster."""
+    protocol = federation.protocol
+    states = getattr(protocol, "cluster_states", None)
+    lines = [
+        f"protocol={federation.protocol_name} "
+        f"t={federation.sim.now:g}s "
+        f"events={federation.sim.processed}"
+    ]
+    if states is None:
+        for c in range(federation.topology.n_clusters):
+            lines.append(f"  cluster {c}: {protocol.cluster_summary(c)}")
+        return "\n".join(lines)
+
+    rows = []
+    for cs in states:
+        rows.append(
+            (
+                f"c{cs.index}",
+                cs.sn,
+                str(cs.ddv_tuple()),
+                len(cs.store),
+                len(cs.sent_log),
+                cs.rollback_epoch,
+                "recovering" if cs.recovering else "ok",
+            )
+        )
+    lines.append(
+        format_table(
+            ["cluster", "SN", "DDV", "stored CLCs", "log entries", "epoch", "state"],
+            rows,
+        )
+    )
+    if include_clcs:
+        for cs in states:
+            if not len(cs.store):
+                continue
+            clc_rows = [
+                (
+                    r.sn,
+                    r.cause.value,
+                    str(r.ddv.as_tuple()),
+                    f"{r.time:g}",
+                    len(r.queued),
+                )
+                for r in cs.store
+            ]
+            lines.append(
+                format_table(
+                    ["SN", "cause", "DDV", "time", "queued msgs"],
+                    clc_rows,
+                    title=f"-- cluster {cs.index} stored CLCs --",
+                )
+            )
+    return "\n".join(lines)

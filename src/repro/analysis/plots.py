@@ -1,0 +1,89 @@
+"""Dependency-free ASCII plots for the paper's figures.
+
+The benchmarks print the figure *data*; this module draws it, so a
+terminal user sees the same shapes as the paper's graphs (decay of
+Figure 6, flat forced line, Figure 9's fast growth) without matplotlib.
+
+One character cell per (column, row); multiple series share the canvas
+with distinct markers and a legend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: dict,
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "x",
+) -> str:
+    """Scatter-plot ``series`` (name -> y values) against ``xs``.
+
+    Values are linearly mapped onto a ``width`` x ``height`` character
+    canvas; y axis is labelled with min/max, x axis with first/last.
+    """
+    if not xs:
+        raise ValueError("nothing to plot: xs is empty")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} xs"
+            )
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+
+    all_y = [float(y) for ys in series.values() for y in ys]
+    y_min = min(all_y + [0.0])
+    y_max = max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(min(xs)), float(max(xs))
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(y: float) -> int:
+        return (height - 1) - round((y - y_min) / (y_max - y_min) * (height - 1))
+
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            r, c = row(float(y)), col(float(x))
+            # later series overwrite on collision; acceptable for a sketch
+            grid[r][c] = marker
+
+    y_top = f"{y_max:g}"
+    y_bot = f"{y_min:g}"
+    margin = max(len(y_top), len(y_bot)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for r, cells in enumerate(grid):
+        if r == 0:
+            label = y_top
+        elif r == height - 1:
+            label = y_bot
+        else:
+            label = ""
+        lines.append(f"{label:>{margin}} |" + "".join(cells))
+    lines.append(" " * margin + "-+" + "-" * width)
+    x_left, x_right = f"{x_min:g}", f"{x_max:g}"
+    axis = f"{x_left}{x_label:^{max(1, width - len(x_left) - len(x_right))}}{x_right}"
+    lines.append(" " * (margin + 2) + axis[: width + 2])
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)

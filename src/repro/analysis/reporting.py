@@ -1,0 +1,59 @@
+"""Text rendering of tables and figure series (paper style).
+
+The benchmark harness prints "the same rows/series the paper reports":
+:func:`format_table` renders aligned ASCII tables (Tables 1-3) and
+:func:`format_series` renders x/y series the paper plots (Figures 6-9),
+one row per x with all series side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["format_series", "format_table"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Aligned ASCII table."""
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence,
+    series: dict,
+    title: Optional[str] = None,
+) -> str:
+    """Render figure data: one row per x value, one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,78 @@
+"""Rollback-cost accounting.
+
+Aggregates what a failure actually cost -- the quantity the protocol design
+trades checkpoint overhead against:
+
+* how many clusters rolled back per failure (HC3I's logs exist to keep this
+  at 1 when possible; the global baseline always pays N; independent
+  checkpointing can domino),
+* lost work (node-seconds of computation redone),
+* checkpoints discarded and messages replayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.federation import Federation
+
+__all__ = ["RollbackCostReport", "rollback_costs"]
+
+
+@dataclass
+class RollbackCostReport:
+    failures: int = 0
+    rollbacks: int = 0
+    clusters_rolled_per_failure: list = field(default_factory=list)
+    lost_work_node_seconds: float = 0.0
+    lost_work_mean: float = 0.0
+    clcs_discarded: int = 0
+    replays: int = 0
+    alerts: int = 0
+
+    @property
+    def mean_clusters_per_failure(self) -> float:
+        if not self.clusters_rolled_per_failure:
+            return 0.0
+        return sum(self.clusters_rolled_per_failure) / len(
+            self.clusters_rolled_per_failure
+        )
+
+
+def rollback_costs(federation: "Federation") -> RollbackCostReport:
+    """Build the cost report from statistics and the protocol trace."""
+    stats = federation.stats
+    report = RollbackCostReport()
+
+    def counter(name: str) -> int:
+        return stats.counter(name).value if name in stats else 0
+
+    report.failures = counter("rollback/failures")
+    report.rollbacks = counter("rollback/total")
+    report.clcs_discarded = counter("rollback/clcs_discarded")
+    report.replays = counter("rollback/replays")
+    report.alerts = counter("rollback/alerts_sent")
+    if "rollback/lost_work" in stats:
+        tally = stats.tally("rollback/lost_work")
+        report.lost_work_node_seconds = tally.total
+        report.lost_work_mean = tally.mean
+
+    # Group rollbacks into failure episodes using the protocol trace.
+    tracer = federation.tracer
+    episode: set = set()
+    episodes: list = []
+    for record in tracer.records:
+        if record.kind == "failure_detected":
+            if episode:
+                episodes.append(len(episode))
+            episode = set()
+        elif record.kind == "rollback":
+            episode.add(record["cluster"])
+        elif record.kind == "global_rollback":
+            episode.update(range(federation.topology.n_clusters))
+    if episode:
+        episodes.append(len(episode))
+    report.clusters_rolled_per_failure = episodes
+    return report

@@ -1,0 +1,205 @@
+"""Application processes.
+
+``compute_communicate_factory`` builds the paper's workload loop: compute
+for an exponentially distributed time, then with the configured
+probabilities send one message to a uniformly chosen node of some cluster.
+Interrupting the process (node failure / cluster rollback) simply stops the
+loop; the federation restarts it when recovery completes, which models
+re-execution from the restored checkpoint.
+
+``scripted_sender_factory`` drives deterministic scenarios (the Figure 5
+worked example, protocol unit tests): an explicit list of timed sends.
+
+:class:`Mailbox` is a minimal application sink recording deliveries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+from repro.network.message import Message, NodeId
+from repro.sim.process import Interrupt, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.federation import Federation
+    from repro.cluster.node import Node
+
+__all__ = ["Mailbox", "compute_communicate_factory", "scripted_sender_factory"]
+
+AppFactory = Callable[["Node", "Federation"], object]
+
+
+class Mailbox:
+    """Records application-level deliveries on a node."""
+
+    def __init__(self) -> None:
+        self.messages: list = []
+
+    def __call__(self, msg: Message) -> None:
+        self.messages.append(msg)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def ids(self) -> list:
+        return [m.msg_id for m in self.messages]
+
+    def senders(self) -> list:
+        return [m.src for m in self.messages]
+
+
+def compute_communicate_factory() -> AppFactory:
+    """The default stochastic workload (the paper's application model)."""
+
+    def factory(node: "Node", federation: "Federation"):
+        return _compute_communicate(node, federation)
+
+    return factory
+
+
+def _compute_communicate(node: "Node", federation: "Federation"):
+    app = federation.application
+    spec = app.spec_for(node.id.cluster)
+    topology = federation.topology
+    stream = federation.streams.stream(f"app/{node.id}")
+    n_clusters = topology.n_clusters
+    # Destination lottery: one slot per cluster plus "silence".
+    probs = [spec.probability_to(d) for d in range(n_clusters)]
+    silence = max(0.0, 1.0 - sum(probs))
+    choices = list(range(n_clusters)) + [None]
+    weights = probs + [silence]
+
+    try:
+        while True:
+            delay = stream.exponential(spec.mean_compute)
+            if node.sim.now + delay >= app.total_time:
+                # Work until the end of the application, then stop.
+                remaining = app.total_time - node.sim.now
+                if remaining > 0:
+                    yield Timeout(remaining)
+                return
+            yield Timeout(delay)
+            dst_cluster = stream.choice(choices, weights=weights)
+            if dst_cluster is None:
+                continue
+            n_nodes = topology.nodes_in(dst_cluster)
+            dst_node = stream.randint(0, n_nodes - 1)
+            if dst_cluster == node.id.cluster and dst_node == node.id.node:
+                dst_node = (dst_node + 1) % n_nodes  # never message oneself
+                if n_nodes == 1:
+                    continue
+            node.send_app(NodeId(dst_cluster, dst_node), spec.message_size)
+    except Interrupt:
+        return  # failure / rollback: the federation restarts us
+
+
+def exchange_factory(
+    requester_cluster: int = 0,
+    responder_cluster: int = 1,
+    mean_compute: float = 600.0,
+    request_probability: float = 1.0,
+    request_size: int = 1024,
+    reply_size: int = 1024,
+) -> AppFactory:
+    """Request/response exchanges between two modules (§2.1).
+
+    "Inter-group communications may be pipelined as in Figure 1 or they
+    may consist of exchanges between two modules."  Nodes of the requester
+    cluster alternate compute phases with requests to a random node of the
+    responder cluster; the responder's application replies immediately.
+    The resulting bidirectional traffic is the §5.3 regime where SNs grow
+    on both sides and most messages force CLCs.
+    """
+
+    def factory(node: "Node", federation: "Federation"):
+        if node.id.cluster == responder_cluster:
+            node.app_sink = _make_responder(node, reply_size)
+        if node.id.cluster == requester_cluster:
+            return _requester_loop(
+                node,
+                federation,
+                responder_cluster,
+                mean_compute,
+                request_probability,
+                request_size,
+            )
+        return _idle_forever(node)
+
+    return factory
+
+
+def _make_responder(node: "Node", reply_size: int):
+    def responder(msg: Message) -> None:
+        if msg.payload.get("request") and node.up:
+            node.send_app(msg.src, reply_size, payload={"reply": True})
+
+    return responder
+
+
+def _requester_loop(
+    node: "Node",
+    federation: "Federation",
+    responder_cluster: int,
+    mean_compute: float,
+    request_probability: float,
+    request_size: int,
+):
+    app = federation.application
+    stream = federation.streams.stream(f"exchange/{node.id}")
+    n_nodes = federation.topology.nodes_in(responder_cluster)
+    try:
+        while True:
+            delay = stream.exponential(mean_compute)
+            if node.sim.now + delay >= app.total_time:
+                remaining = app.total_time - node.sim.now
+                if remaining > 0:
+                    yield Timeout(remaining)
+                return
+            yield Timeout(delay)
+            if not stream.bernoulli(request_probability):
+                continue
+            dst = NodeId(responder_cluster, stream.randint(0, n_nodes - 1))
+            node.send_app(dst, request_size, payload={"request": True})
+    except Interrupt:
+        return
+
+
+def _idle_forever(node: "Node"):
+    try:
+        yield Timeout(float("1e18"))
+    except Interrupt:
+        return
+
+
+def scripted_sender_factory(scripts: dict) -> AppFactory:
+    """Deterministic senders for worked examples and tests.
+
+    :param scripts: maps a :class:`NodeId` to an iterable of
+        ``(time, dst, size)`` send instructions (absolute times, sorted).
+        Nodes without a script idle forever.
+    """
+
+    normalized = {nid: sorted(items) for nid, items in scripts.items()}
+
+    def factory(node: "Node", federation: "Federation"):
+        return _scripted(node, normalized.get(node.id, ()))
+
+    return factory
+
+
+def _scripted(node: "Node", script: Iterable[tuple]):
+    try:
+        for at, dst, size in script:
+            # A restarted script (post-rollback re-execution) skips the
+            # instructions whose time already passed: deterministic
+            # scenarios assert on protocol state, not on re-sent traffic.
+            if at < node.sim.now:
+                continue
+            delay = at - node.sim.now
+            if delay > 0:
+                yield Timeout(delay)
+            node.send_app(dst, size)
+        # Stay alive (idle) so joins behave uniformly.
+        yield Timeout(float("1e18"))
+    except Interrupt:
+        return

@@ -1,0 +1,43 @@
+"""HC3I variants obtained by changing the forced-CLC policy.
+
+``cic-always`` is the strawman the paper rejects in §3.2: "Forcing a CLC in
+the receiver's cluster for each inter-cluster application message would
+work but the overhead would be huge as it would force useless checkpoints"
+(Fig. 4's CLC3).  Benchmarked against real HC3I it quantifies exactly how
+many checkpoints the SN/DDV test saves.
+
+``hc3i-transitive`` is the §7 extension: "The dependency tracking mechanism
+can be improved by adding some transitivity (by sending the whole DDV
+instead of the SN) in order to take less forced checkpoints."  Dependencies
+learned through an intermediate cluster no longer force a CLC when the
+direct message finally arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.hc3i import Hc3iProtocol
+from repro.core.protocol import register_protocol
+
+__all__ = ["CicAlwaysProtocol", "Hc3iTransitiveProtocol"]
+
+
+@register_protocol("cic-always")
+class CicAlwaysProtocol(Hc3iProtocol):
+    """Force a CLC on every inter-cluster message reception."""
+
+    def __init__(self, federation, options: Optional[dict] = None):
+        opts = dict(options or {})
+        opts["mode"] = "always"
+        super().__init__(federation, opts)
+
+
+@register_protocol("hc3i-transitive")
+class Hc3iTransitiveProtocol(Hc3iProtocol):
+    """Piggyback the whole DDV: transitive dependency tracking."""
+
+    def __init__(self, federation, options: Optional[dict] = None):
+        opts = dict(options or {})
+        opts["mode"] = "ddv"
+        super().__init__(federation, opts)

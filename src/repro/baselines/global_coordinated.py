@@ -1,0 +1,256 @@
+"""Federation-wide coordinated checkpointing baseline.
+
+One initiator (the leader of cluster 0) runs the classic two-phase commit
+over *every node of the federation*: request broadcast, acknowledgements,
+commit broadcast, with application messages frozen in between.  This is the
+approach the paper rules out at federation scale: "The large number of
+nodes and network performance between clusters do not allow a global
+synchronization" (§2.2).
+
+What the benchmarks measure against HC3I:
+
+* **freeze time** -- the request->commit window now spans WAN round trips,
+  and every node in the federation pays it at every checkpoint
+  (``global/freeze_time`` tally),
+* **rollback scope** -- any single failure rolls back *all* clusters to the
+  last global checkpoint (``rollback/clusters_rolled``),
+* **control traffic** crossing the inter-cluster links for every round.
+
+Inter-cluster application messages need no piggyback, no logging and no
+forced checkpoints: the global commit line is consistent by construction.
+In-transit messages at request time are handled like HC3I's intra-cluster
+ones: delivery during the window amends the receiver's saved state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.protocol import BaseProtocol, NodeAgent, register_protocol
+from repro.network.message import Message, MessageKind, NodeId
+from repro.sim.timers import PeriodicTimer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+__all__ = ["GlobalCoordinatedProtocol"]
+
+CONTROL_SIZE = 64
+
+
+@dataclass(frozen=True)
+class GlobalCheckpoint:
+    """One committed federation-wide checkpoint."""
+
+    number: int
+    time: float
+
+
+@register_protocol("global-coordinated")
+class GlobalCoordinatedProtocol(BaseProtocol):
+    """Single 2PC across the whole federation."""
+
+    IDLE = "idle"
+    COLLECTING = "collecting"
+
+    def __init__(self, federation, options: Optional[dict] = None):
+        super().__init__(federation, options)
+        self.checkpoint_number = 0
+        self.checkpoints: list = []
+        self.phase = self.IDLE
+        self._acks_pending: set = set()
+        self.state_size = federation.timers.node_state_size
+        period = federation.timers.clc_period_for(0)
+        self.timer = PeriodicTimer(self.sim, period, self._timer_fired, name="global-clc")
+        self.recovering = False
+        self._agents: dict = {}
+
+    # ------------------------------------------------------------------
+    def make_agent(self, node: "Node") -> "GlobalAgent":
+        agent = GlobalAgent(self, node)
+        self._agents[node.id] = agent
+        return agent
+
+    def start(self) -> None:
+        self._initiate()  # initial global checkpoint at t=0
+        self.timer.start()
+
+    @property
+    def initiator(self) -> "Node":
+        return self.federation.clusters[0].leader
+
+    def _timer_fired(self) -> None:
+        if self.phase is self.IDLE and not self.recovering:
+            self._initiate()
+
+    # ------------------------------------------------------------------
+    # the global two-phase commit
+    # ------------------------------------------------------------------
+    def _initiate(self) -> None:
+        self.phase = self.COLLECTING
+        initiator = self.initiator
+        init_agent = self._agents[initiator.id]
+        init_agent.freeze()
+        init_agent._save_state()
+        self._acks_pending = set()
+        for cluster in self.federation.clusters:
+            for node in cluster.nodes:
+                if node.id == initiator.id:
+                    continue
+                self._acks_pending.add(node.id)
+                initiator.send_raw(node.id, MessageKind.CLC_REQUEST, size=CONTROL_SIZE)
+        if not self._acks_pending:
+            self._commit()
+
+    def on_ack(self, msg: Message) -> None:
+        if self.phase is not self.COLLECTING:
+            return
+        self._acks_pending.discard(msg.src)
+        if not self._acks_pending:
+            self._commit()
+
+    def _commit(self) -> None:
+        self.checkpoint_number += 1
+        self.checkpoints.append(GlobalCheckpoint(self.checkpoint_number, self.sim.now))
+        self.phase = self.IDLE
+        self.stats.counter("global/checkpoints").inc()
+        self.stats.gauge("global/stored").set(len(self.checkpoints))
+        self.tracer.protocol("global_commit", number=self.checkpoint_number)
+        initiator = self.initiator
+        for cluster in self.federation.clusters:
+            for node in cluster.nodes:
+                if node.id == initiator.id:
+                    continue
+                initiator.send_raw(node.id, MessageKind.CLC_COMMIT, size=CONTROL_SIZE)
+        self._agents[initiator.id].unfreeze()
+        self.timer.reset()
+
+    def abort_round(self) -> None:
+        self.phase = self.IDLE
+        self._acks_pending = set()
+
+    # ------------------------------------------------------------------
+    # failure: everybody rolls back
+    # ------------------------------------------------------------------
+    def on_failure_detected(self, node: "Node") -> None:
+        if not self.checkpoints:
+            raise RuntimeError("failure before the initial global checkpoint")
+        target = self.checkpoints[-1]
+        self.abort_round()
+        fed = self.federation
+        n_clusters = fed.topology.n_clusters
+        self.stats.counter("rollback/failures").inc()
+        self.stats.counter("rollback/total").inc(n_clusters)
+        self.stats.counter("rollback/clusters_rolled").inc(n_clusters)
+        self.tracer.protocol(
+            "global_rollback", number=target.number, failed=str(node.id)
+        )
+        self.recovering = True
+        for agent in self._agents.values():
+            agent.reset_volatile()
+        for cluster in fed.clusters:
+            fed.on_cluster_rollback(cluster.index, target.time, node if node.id.cluster == cluster.index else None)
+        timers = fed.timers
+        delay = timers.checkpoint_restore_time + timers.node_repair_time
+        delay += fed.topology.delay(node.id, node.id, timers.node_state_size)
+        self.sim.schedule(delay, self._complete_recovery, node)
+
+    def _complete_recovery(self, failed_node: "Node") -> None:
+        self.recovering = False
+        fed = self.federation
+        if not failed_node.up:
+            failed_node.recover()
+        for cluster in fed.clusters:
+            fed.restart_cluster_apps(cluster.index)
+            fed.notify_recovery_complete(cluster.index)
+        self.timer.reset()
+        self.tracer.protocol("global_recovery_complete", number=self.checkpoints[-1].number)
+
+    def cluster_summary(self, cluster: int) -> dict:
+        return {
+            "clc_total": self.checkpoint_number,
+            "clc_unforced": self.checkpoint_number - 1,
+            "clc_forced": 0,
+            "clc_initial": 1 if self.checkpoint_number else 0,
+            "clc_stored": len(self.checkpoints),
+        }
+
+
+class GlobalAgent(NodeAgent):
+    """Per-node endpoint of the global protocol."""
+
+    def __init__(self, protocol: GlobalCoordinatedProtocol, node: "Node"):
+        super().__init__(protocol, node)
+        self.protocol: GlobalCoordinatedProtocol = protocol
+        self.frozen = False
+        self.queued_out: list = []
+        self._freeze_started = 0.0
+
+    # -- sending ---------------------------------------------------------
+    def app_send(self, dst: NodeId, size: int, payload: Optional[dict] = None) -> None:
+        if not self.node.up:
+            return
+        if self.frozen or self.protocol.recovering:
+            self.queued_out.append((dst, size, payload))
+            return
+        self._send_now(dst, size, payload)
+
+    def _send_now(self, dst: NodeId, size: int, payload: Optional[dict]) -> None:
+        msg = Message(
+            src=self.node.id, dst=dst, kind=MessageKind.APP, size=size,
+            payload=payload or {},
+        )
+        self.protocol.federation.fabric.send(msg)
+
+    # -- receiving ---------------------------------------------------------
+    def on_receive(self, msg: Message) -> None:
+        kind = msg.kind
+        if kind.is_app:
+            # Deliveries during the freeze window amend the saved state
+            # (same convention as HC3I's intra-cluster handling).
+            self.node.deliver_app(msg)
+        elif kind is MessageKind.CLC_REQUEST:
+            self.freeze()
+            self._save_state()
+            self.node.send_raw(
+                self.protocol.initiator.id, MessageKind.CLC_ACK, size=CONTROL_SIZE
+            )
+        elif kind is MessageKind.CLC_ACK:
+            self.protocol.on_ack(msg)
+        elif kind is MessageKind.CLC_COMMIT:
+            self.unfreeze()
+        elif kind is MessageKind.REPLICA:
+            pass
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"global-coordinated cannot handle {kind}")
+
+    # -- freeze machinery ---------------------------------------------------
+    def freeze(self) -> None:
+        if not self.frozen:
+            self.frozen = True
+            self._freeze_started = self.node.sim.now
+
+    def _save_state(self) -> None:
+        # Stable storage: one neighbour replica inside the node's cluster.
+        cluster = self.protocol.federation.clusters[self.node.id.cluster]
+        n = cluster.size
+        if n > 1:
+            neighbour = cluster.nodes[(self.node.id.node + 1) % n]
+            self.node.send_raw(
+                neighbour.id, MessageKind.REPLICA, size=self.protocol.state_size
+            )
+
+    def unfreeze(self) -> None:
+        if self.frozen:
+            self.frozen = False
+            self.protocol.stats.tally("global/freeze_time").record(
+                self.node.sim.now - self._freeze_started
+            )
+        queued, self.queued_out = self.queued_out, []
+        for dst, size, payload in queued:
+            self._send_now(dst, size, payload)
+
+    def reset_volatile(self) -> None:
+        self.frozen = False
+        self.queued_out = []

@@ -1,0 +1,212 @@
+"""Command-line runner, mirroring the paper's simulator invocation.
+
+The original simulator consumed three files (topology, application, timers)
+and printed statistical data.  Usage::
+
+    hc3i-sim --topology topo.json --application app.json --timers timers.json
+    hc3i-sim --scenario scenario.json --protocol hc3i-transitive --seed 7
+
+or, without installing the entry point::
+
+    python -m repro.cli --scenario scenario.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.cluster.federation import Federation
+from repro.config.loader import ScenarioConfig, load_scenario
+from repro.core.protocol import protocol_names
+from repro.sim.trace import TraceLevel
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hc3i-sim",
+        description="Discrete-event simulation of the HC3I checkpointing protocol.",
+    )
+    parser.add_argument("--scenario", help="single JSON file with all three sections")
+    parser.add_argument("--topology", help="topology file (JSON)")
+    parser.add_argument("--application", help="application file (JSON)")
+    parser.add_argument("--timers", help="timers file (JSON)")
+    parser.add_argument(
+        "--protocol",
+        default=None,
+        help=f"protocol to run ({', '.join(protocol_names())})",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="root random seed")
+    parser.add_argument(
+        "--until", type=float, default=None, help="stop at this simulated time (s)"
+    )
+    parser.add_argument(
+        "--trace",
+        choices=["none", "protocol", "message", "debug"],
+        default="none",
+        help="trace verbosity",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit results as JSON instead of tables"
+    )
+    parser.add_argument(
+        "--experiment",
+        help=(
+            "run a named paper experiment instead of a scenario "
+            f"({', '.join(sorted(EXPERIMENTS))})"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["full", "small"],
+        default="small",
+        help="experiment scale: 'full' = the paper's 100 nodes / 10 h",
+    )
+    return parser
+
+
+def _experiment_registry() -> dict:
+    from repro.experiments import (
+        baseline_comparison,
+        clc_delay_sweep,
+        cluster1_timer_sweep,
+        communication_pattern_sweep,
+        gc_three_clusters,
+        gc_two_clusters,
+        incremental_checkpoint_ablation,
+        message_logging_ablation,
+        no_gc_reference,
+        replication_degree_sweep,
+        table1_message_counts,
+        transitive_ddv_ablation,
+    )
+
+    scaled = {
+        "table1": table1_message_counts,
+        "fig6-fig7": clc_delay_sweep,
+        "fig8": cluster1_timer_sweep,
+        "fig9": communication_pattern_sweep,
+        "table2": gc_two_clusters,
+        "table3": gc_three_clusters,
+        "no-gc": no_gc_reference,
+    }
+    from repro.experiments import federation_scaling, mtbf_sweep, multi_seed_robustness, protocol_overhead
+
+    scaled["overhead"] = protocol_overhead
+    scaled["robustness"] = multi_seed_robustness
+    fixed = {
+        "ablation-transitive": transitive_ddv_ablation,
+        "ablation-logging": message_logging_ablation,
+        "ablation-incremental": incremental_checkpoint_ablation,
+        "ablation-replication": replication_degree_sweep,
+        "baselines": baseline_comparison,
+        "mtbf": mtbf_sweep,
+        "scaling": federation_scaling,
+    }
+    return {"scaled": scaled, "fixed": fixed}
+
+
+EXPERIMENTS = tuple(
+    list(_experiment_registry()["scaled"]) + list(_experiment_registry()["fixed"])
+)
+
+
+def _run_experiment(name: str, scale: str) -> int:
+    registry = _experiment_registry()
+    if name in registry["scaled"]:
+        kwargs = (
+            {"nodes": 100, "total_time": 36000.0}
+            if scale == "full"
+            else {"nodes": 10, "total_time": 7200.0}
+        )
+        exp = registry["scaled"][name](**kwargs)
+    elif name in registry["fixed"]:
+        exp = registry["fixed"][name]()
+    else:
+        raise SystemExit(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    print(exp.render())
+    return 0
+
+
+def _load(args: argparse.Namespace) -> ScenarioConfig:
+    if args.scenario:
+        return load_scenario(args.scenario, args.scenario, args.scenario)
+    if not (args.topology and args.application and args.timers):
+        raise SystemExit(
+            "either --scenario or all of --topology/--application/--timers required"
+        )
+    return load_scenario(args.topology, args.application, args.timers)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment:
+        return _run_experiment(args.experiment, args.scale)
+    scenario = _load(args)
+    if args.protocol:
+        scenario.protocol = args.protocol
+    if args.seed is not None:
+        scenario.seed = args.seed
+    level = {
+        "none": TraceLevel.NONE,
+        "protocol": TraceLevel.PROTOCOL,
+        "message": TraceLevel.MESSAGE,
+        "debug": TraceLevel.DEBUG,
+    }[args.trace]
+    fed = Federation(
+        scenario.topology,
+        scenario.application,
+        scenario.timers,
+        protocol=scenario.protocol,
+        protocol_options=scenario.protocol_options,
+        seed=scenario.seed,
+        trace_level=level,
+    )
+    results = fed.run(until=args.until)
+
+    if args.json:
+        payload = {
+            "protocol": results.protocol,
+            "duration": results.duration,
+            "events": results.events,
+            "messages": {f"{i}->{j}": v for (i, j), v in results.messages.items()},
+            "protocol_messages": results.protocol_messages,
+            "clusters": results.clusters,
+            "stats": results.stats,
+        }
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        print()
+        return 0
+
+    print(f"protocol={results.protocol} seed={results.seed} "
+          f"duration={results.duration:g}s events={results.events}")
+    rows = [(f"c{i}", f"c{j}", v) for (i, j), v in sorted(results.messages.items())]
+    print(format_table(["from", "to", "app messages"], rows, title="-- traffic --"))
+    clc_rows = []
+    for c in range(fed.topology.n_clusters):
+        counts = results.clc_counts(c)
+        clc_rows.append(
+            (f"c{c}", counts["initial"], counts["unforced"], counts["forced"],
+             counts["total"], results.stored_clcs(c))
+        )
+    print(format_table(
+        ["cluster", "initial", "unforced", "forced", "total", "stored"],
+        clc_rows,
+        title="-- committed CLCs --",
+    ))
+    print(f"protocol messages: {results.protocol_messages}")
+    if args.trace != "none":
+        for record in fed.tracer.records:
+            print(f"{record.time:14.6f}  {record.kind:20s} {record.fields}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

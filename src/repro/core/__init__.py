@@ -1,0 +1,43 @@
+"""HC3I: the paper's hierarchical checkpointing protocol.
+
+The protocol combines
+
+* **coordinated checkpointing inside each cluster** -- a two-phase commit
+  establishes Cluster Level Checkpoints (CLCs), numbered by a per-cluster
+  sequence number (SN) (:mod:`repro.core.clc`),
+* **communication-induced checkpointing between clusters** -- the sender's
+  SN is piggybacked on every inter-cluster application message and compared
+  against the receiver's Direct Dependencies Vector (DDV); a *forced CLC*
+  keeps the recovery line progressing (:mod:`repro.core.hc3i`,
+  :mod:`repro.core.ddv`),
+* **sender-side optimistic message logging** so that clusters that did not
+  fail do not have to roll back (:mod:`repro.core.msglog`),
+* **rollback alerts** that compute the recovery line at rollback time
+  (:mod:`repro.core.rollback`, :mod:`repro.core.recovery_line`),
+* **garbage collection** of old CLCs and logged messages
+  (:mod:`repro.core.garbage`).
+"""
+
+from repro.core.clc import CheckpointCause, CheckpointRecord, ClcStore
+from repro.core.ddv import DDV
+from repro.core.msglog import LogEntry, MessageLog
+from repro.core.protocol import BaseProtocol, ClusterView, register_protocol, make_protocol, protocol_names
+from repro.core.recovery_line import cascade_targets, compute_min_sns
+from repro.core.hc3i import Hc3iProtocol
+
+__all__ = [
+    "BaseProtocol",
+    "CheckpointCause",
+    "CheckpointRecord",
+    "ClcStore",
+    "ClusterView",
+    "DDV",
+    "Hc3iProtocol",
+    "LogEntry",
+    "MessageLog",
+    "cascade_targets",
+    "compute_min_sns",
+    "make_protocol",
+    "protocol_names",
+    "register_protocol",
+]

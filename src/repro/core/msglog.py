@@ -1,0 +1,130 @@
+"""Sender-side optimistic message logging (§3.3).
+
+"When a message is sent outside a cluster, the sender logs it
+optimistically in its volatile memory (logged messages are used only if the
+sender does not rollback).  The message is acknowledged with the receiver's
+SN which is logged along with the message itself."
+
+The log is what lets a non-failed sender cluster *replay* messages instead
+of rolling back when the receiver's cluster restarts from an older CLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.network.message import Message
+
+__all__ = ["LogEntry", "MessageLog"]
+
+
+@dataclass
+class LogEntry:
+    """One logged inter-cluster application message."""
+
+    msg: Message
+    send_sn: int          #: sender cluster's SN at send time (the epoch of the send)
+    dest_cluster: int
+    ack_sn: Optional[int] = None  #: receiver's ack SN; None until acknowledged
+    replays: int = 0      #: how many times this entry has been re-sent
+
+    @property
+    def bytes(self) -> int:
+        return self.msg.size
+
+
+class MessageLog:
+    """Volatile log of the inter-cluster messages sent by one cluster.
+
+    One instance per cluster; entries remember which node sent them (the
+    message's ``src``), so replays originate from the right node.
+    """
+
+    def __init__(self, cluster: int):
+        self.cluster = cluster
+        self._entries: dict[int, LogEntry] = {}   # msg_id -> entry
+        #: statistics: entries removed by garbage collection
+        self.removed_by_gc = 0
+        #: statistics: entries dropped because the sender itself rolled back
+        self.dropped_by_rollback = 0
+        #: high-water mark of simultaneously stored entries
+        self.max_entries = 0
+
+    # ------------------------------------------------------------------
+    def add(self, msg: Message, send_sn: int) -> LogEntry:
+        if not msg.inter_cluster:
+            raise ValueError("only inter-cluster messages are logged")
+        if msg.src.cluster != self.cluster:
+            raise ValueError(
+                f"message from cluster {msg.src.cluster} logged in cluster {self.cluster}"
+            )
+        entry = LogEntry(msg=msg, send_sn=send_sn, dest_cluster=msg.dst.cluster)
+        self._entries[msg.msg_id] = entry
+        if len(self._entries) > self.max_entries:
+            self.max_entries = len(self._entries)
+        return entry
+
+    def ack(self, msg_id: int, ack_sn: int) -> bool:
+        """Record the receiver's acknowledgement; False if already GC'ed."""
+        entry = self._entries.get(msg_id)
+        if entry is None:
+            return False
+        entry.ack_sn = ack_sn
+        return True
+
+    def get(self, msg_id: int) -> Optional[LogEntry]:
+        return self._entries.get(msg_id)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(list(self._entries.values()))
+
+    @property
+    def bytes(self) -> int:
+        return sum(e.bytes for e in self._entries.values())
+
+    # ------------------------------------------------------------------
+    def entries_to_replay(self, dest_cluster: int, alert_sn: int) -> list[LogEntry]:
+        """Entries to re-send after ``dest_cluster`` rolled back to ``alert_sn``.
+
+        §3.4: "Logged messages sent to nodes in the faulty cluster
+        acknowledged with a SN greater than the alert one (or not
+        acknowledged at all) will then be resent."
+        """
+        return [
+            e
+            for e in self._entries.values()
+            if e.dest_cluster == dest_cluster
+            and (e.ack_sn is None or e.ack_sn > alert_sn)
+        ]
+
+    def drop_sent_after(self, restored_sn: int) -> int:
+        """Forget entries whose *send* was erased by our own rollback.
+
+        A send with ``send_sn >= restored_sn`` happened after the restored
+        CLC committed, so in the post-rollback timeline it never happened.
+        """
+        doomed = [mid for mid, e in self._entries.items() if e.send_sn >= restored_sn]
+        for mid in doomed:
+            del self._entries[mid]
+        self.dropped_by_rollback += len(doomed)
+        return len(doomed)
+
+    def prune(self, min_sns: list) -> int:
+        """Garbage collection (§3.5): drop entries acked below the
+        receiver cluster's smallest reachable SN."""
+        doomed = [
+            mid
+            for mid, e in self._entries.items()
+            if e.ack_sn is not None and e.ack_sn < min_sns[e.dest_cluster]
+        ]
+        for mid in doomed:
+            del self._entries[mid]
+        self.removed_by_gc += len(doomed)
+        return len(doomed)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<MessageLog c{self.cluster} n={len(self._entries)}>"

@@ -1,0 +1,137 @@
+"""Recovery-line computation (pure functions).
+
+Two consumers:
+
+* the **garbage collector** (§3.5): "it simulates a failure in each cluster
+  and keeps the smallest SN to which the clusters of the federation might
+  rollback" -- :func:`compute_min_sns`;
+* **verification**: property tests check that the event-driven rollback
+  cascade of :mod:`repro.core.rollback` lands exactly on the targets
+  predicted by :func:`cascade_targets`.
+
+Both operate on plain data -- per-cluster chronological lists of
+``(sn, ddv_tuple)`` for the stored CLCs plus each cluster's current DDV --
+so they can run anywhere (inside the simulated GC initiator, in tests, in
+offline analysis).
+
+Key protocol facts used here (§3.4):
+
+* a cluster rolls back on an alert ``(f, s)`` iff its current DDV entry for
+  ``f`` is ``>= s``;
+* it rolls back to the **oldest** stored CLC whose DDV entry for ``f`` is
+  ``>= s`` (forced CLCs are taken *before* delivering the message that
+  updated the DDV, so that CLC precedes every dependent delivery);
+* a cluster that rolls back emits its own alert with its new SN, which may
+  cascade;
+* DDV entries are monotonically non-decreasing along a cluster's stored
+  CLCs, which makes the "oldest with entry >= s" search well defined.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+__all__ = ["cascade_targets", "compute_min_sns"]
+
+StoredDdvs = Sequence[Sequence[tuple]]  # per cluster: [(sn, ddv_tuple), ...]
+
+
+def _check_monotone(stored: StoredDdvs) -> None:
+    for c, records in enumerate(stored):
+        prev_sn = -1
+        for sn, ddv in records:
+            if sn <= prev_sn:
+                raise ValueError(f"cluster {c}: CLC SNs not increasing at sn={sn}")
+            prev_sn = sn
+
+
+def cascade_targets(
+    stored: StoredDdvs,
+    current_ddvs: Sequence[tuple],
+    failed: int,
+) -> list:
+    """Rollback target SN per cluster after a failure in ``failed``.
+
+    :param stored: per-cluster chronological ``(sn, ddv)`` of stored CLCs.
+    :param current_ddvs: each cluster's live DDV (used for the *first*
+        trigger test; after a simulated rollback the restored CLC's DDV is
+        used instead).
+    :param failed: index of the faulty cluster.
+    :returns: list with one entry per cluster: the SN of the CLC the cluster
+        rolls back to, or ``None`` if it does not roll back.
+
+    The faulty cluster always rolls back to its *last* stored CLC.  Alerts
+    are then propagated to a fixpoint.  Re-receiving an alert that maps a
+    cluster onto its current position is a no-op and emits no further alert,
+    which guarantees termination (every real move is strictly older).
+    """
+    n = len(stored)
+    if not (0 <= failed < n):
+        raise ValueError(f"failed cluster {failed} out of range")
+    if not stored[failed]:
+        raise ValueError(f"faulty cluster {failed} has no stored CLC")
+    _check_monotone(stored)
+
+    # position[c] = index into stored[c] after rollback, or None = live.
+    position: list[Optional[int]] = [None] * n
+    position[failed] = len(stored[failed]) - 1
+    alerts: deque = deque([(failed, stored[failed][-1][0])])
+
+    while alerts:
+        f, s = alerts.popleft()
+        for d in range(n):
+            if d == f:
+                continue
+            if position[d] is None:
+                ddv = current_ddvs[d]
+                limit = len(stored[d]) - 1
+            else:
+                ddv = stored[d][position[d]][1]
+                limit = position[d]
+            if ddv[f] < s:
+                continue  # no dependency on the lost states
+            target = None
+            for i in range(limit + 1):
+                if stored[d][i][1][f] >= s:
+                    target = i
+                    break
+            if target is None:
+                # Defensive: the DDV update's forced CLC is always stored
+                # (or the dependency was already erased); treat as no move.
+                continue
+            if position[d] is None or target < position[d]:
+                position[d] = target
+                alerts.append((d, stored[d][target][0]))
+            # target == position[d]: already there; no re-alert (termination).
+    return [
+        stored[c][position[c]][0] if position[c] is not None else None
+        for c in range(n)
+    ]
+
+
+def compute_min_sns(stored: StoredDdvs, current_ddvs: Sequence[tuple]) -> list:
+    """Smallest SN each cluster might ever roll back to (§3.5).
+
+    For every hypothetical single-cluster failure, compute the cascade
+    targets and keep the per-cluster minimum.  A cluster that never rolls
+    back in any scenario other than its own failure keeps its own last SN
+    as the minimum (its own failure is one of the scenarios).
+
+    The garbage collector may then discard every CLC whose SN is smaller
+    than this bound, and every logged message acknowledged below the
+    receiver's bound.
+    """
+    n = len(stored)
+    mins: list[Optional[int]] = [None] * n
+    for f in range(n):
+        if not stored[f]:
+            continue
+        targets = cascade_targets(stored, current_ddvs, f)
+        for c, t in enumerate(targets):
+            if t is None:
+                continue
+            if mins[c] is None or t < mins[c]:
+                mins[c] = t
+    # A cluster with no stored CLC anywhere reachable keeps bound 0.
+    return [m if m is not None else 0 for m in mins]

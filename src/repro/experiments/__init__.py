@@ -1,0 +1,60 @@
+"""Paper experiments: one module per table/figure of §5.
+
+Every experiment function is pure configuration + execution: it builds the
+calibrated workload, runs the federation, and returns an
+:class:`~repro.experiments.common.ExperimentResult` whose ``render()``
+prints the same rows/series the paper reports, with the paper's reference
+values alongside.  The benchmark harness under ``benchmarks/`` wraps these
+one-to-one.
+
+All experiments accept ``nodes`` and ``total_time`` so tests can exercise
+them at reduced scale; defaults reproduce the paper (100 nodes per cluster,
+10-hour application).
+"""
+
+from repro.experiments.common import ExperimentResult, run_federation
+from repro.experiments.table1 import table1_message_counts
+from repro.experiments.fig6_fig7 import clc_delay_sweep
+from repro.experiments.fig8 import cluster1_timer_sweep
+from repro.experiments.fig9 import communication_pattern_sweep
+from repro.experiments.table2_table3 import (
+    gc_three_clusters,
+    gc_two_clusters,
+    no_gc_reference,
+)
+from repro.experiments.figure5 import figure5_scenario
+from repro.experiments.overhead import protocol_overhead
+from repro.experiments.robustness import multi_seed_robustness
+from repro.experiments.failure_sweep import mtbf_sweep
+from repro.experiments.scalability import federation_scaling
+from repro.experiments.ablations import (
+    baseline_comparison,
+    gc_period_sweep,
+    incremental_checkpoint_ablation,
+    message_logging_ablation,
+    replication_degree_sweep,
+    transitive_ddv_ablation,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "baseline_comparison",
+    "clc_delay_sweep",
+    "cluster1_timer_sweep",
+    "communication_pattern_sweep",
+    "figure5_scenario",
+    "gc_period_sweep",
+    "federation_scaling",
+    "gc_three_clusters",
+    "gc_two_clusters",
+    "incremental_checkpoint_ablation",
+    "message_logging_ablation",
+    "mtbf_sweep",
+    "multi_seed_robustness",
+    "no_gc_reference",
+    "protocol_overhead",
+    "replication_degree_sweep",
+    "run_federation",
+    "table1_message_counts",
+    "transitive_ddv_ablation",
+]

@@ -1,0 +1,412 @@
+"""Ablations over HC3I's design choices and baseline comparisons.
+
+These benches answer the questions the paper raises but does not quantify:
+
+* **transitive DDV** (§7): does piggybacking the whole DDV reduce forced
+  CLCs on a pipeline workload?
+* **sender-side logging** (§3.3): how many extra clusters roll back per
+  failure without the optimistic log?
+* **forced-CLC rule** (§3.2/Fig. 4): how many useless checkpoints does the
+  SN test avoid versus forcing on every message?
+* **protocol family comparison** (§2.2/§6): HC3I versus global coordinated
+  checkpointing, independent checkpointing (domino) and pessimistic message
+  logging, on identical workloads with identical failure times.
+* **GC period** (§5.4): "A tradeoff has to be found between the frequency
+  of garbage collection and the number of CLCs stored."
+* **replication degree** (§7): storage/traffic cost of tolerating k
+  simultaneous intra-cluster faults.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.rollback_cost import rollback_costs
+from repro.app.workloads import (
+    TOTAL_TIME,
+    pipeline_workload,
+    table1_workload,
+    table2_workload,
+)
+from repro.cluster.federation import Federation
+from repro.config.timers import HOUR, MINUTE
+from repro.experiments.common import ExperimentResult
+from repro.network.message import NodeId
+
+__all__ = [
+    "baseline_comparison",
+    "gc_period_sweep",
+    "incremental_checkpoint_ablation",
+    "message_logging_ablation",
+    "replication_degree_sweep",
+    "transitive_ddv_ablation",
+]
+
+
+def _run_with_failures(
+    topology,
+    application,
+    timers,
+    protocol: str,
+    seed: int,
+    failure_times: Sequence[float] = (),
+    victims: Optional[Sequence[NodeId]] = None,
+    protocol_options: Optional[dict] = None,
+    trace_protocol: bool = True,
+):
+    from repro.sim.trace import TraceLevel
+
+    fed = Federation(
+        topology,
+        application,
+        timers,
+        protocol=protocol,
+        protocol_options=protocol_options,
+        seed=seed,
+        trace_level=TraceLevel.PROTOCOL if trace_protocol else TraceLevel.NONE,
+    )
+    fed.start()
+    for i, at in enumerate(failure_times):
+        victim = victims[i] if victims else NodeId(i % topology.n_clusters, 0)
+        fed.sim.schedule_at(at, fed.inject_failure, victim)
+    results = fed.run()
+    return fed, results
+
+
+def transitive_ddv_ablation(
+    nodes_per_stage: int = 20,
+    n_stages: int = 4,
+    total_time: float = 2 * HOUR,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Forced-CLC counts: SN piggyback vs whole-DDV vs force-always."""
+    rows = []
+    for protocol in ("hc3i", "hc3i-transitive", "cic-always"):
+        topology, application, timers = pipeline_workload(
+            nodes_per_stage=nodes_per_stage,
+            n_stages=n_stages,
+            total_time=total_time,
+            skip_probability=0.02,
+        )
+        fed = Federation(topology, application, timers, protocol=protocol, seed=seed)
+        results = fed.run()
+        forced = sum(results.clc_counts(c)["forced"] for c in range(n_stages))
+        total = sum(results.clc_counts(c)["total"] for c in range(n_stages))
+        inter = sum(
+            results.app_messages(i, j)
+            for i in range(n_stages)
+            for j in range(n_stages)
+            if i != j
+        )
+        rows.append((protocol, forced, total, inter))
+    return ExperimentResult(
+        name="Ablation -- dependency tracking (SN vs transitive DDV vs always-force)",
+        description=(
+            f"{n_stages}-stage pipeline (Figure 1 model); forced CLCs summed "
+            "over all clusters."
+        ),
+        headers=["protocol", "forced CLCs", "total CLCs", "inter-cluster msgs"],
+        rows=rows,
+        paper={
+            "hypothesis": "§7: transitivity should take fewer forced checkpoints; "
+            "§3.2: always-force takes useless ones"
+        },
+    )
+
+
+def message_logging_ablation(
+    nodes: int = 20,
+    total_time: float = 4 * HOUR,
+    seed: int = 42,
+    failure_times: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    """Clusters rolled back per failure: with vs without sender-side logs."""
+    failure_times = list(failure_times or [total_time * 0.45, total_time * 0.8])
+    rows = []
+    for label, replay in (("with logging (paper)", True), ("without logging", False)):
+        topology, application, timers = table1_workload(
+            nodes=nodes,
+            total_time=total_time,
+            clc_period_0=20 * MINUTE,
+            clc_period_1=20 * MINUTE,
+            messages_1_to_0=103,
+        )
+        fed, results = _run_with_failures(
+            topology,
+            application,
+            timers,
+            protocol="hc3i",
+            seed=seed,
+            failure_times=failure_times,
+            victims=[NodeId(0, 1), NodeId(1, 1)],
+            protocol_options={"replay_enabled": replay},
+        )
+        costs = rollback_costs(fed)
+        rows.append(
+            (
+                label,
+                costs.failures,
+                costs.rollbacks,
+                round(costs.mean_clusters_per_failure, 2),
+                costs.replays,
+                round(costs.lost_work_node_seconds, 1),
+            )
+        )
+    return ExperimentResult(
+        name="Ablation -- sender-side message logging (§3.3)",
+        description=(
+            "Identical failures with and without the optimistic sender log; "
+            "without it the sender's cluster must roll back so its messages "
+            "are regenerated."
+        ),
+        headers=[
+            "variant",
+            "failures",
+            "rollbacks",
+            "clusters/failure",
+            "replays",
+            "lost node-seconds",
+        ],
+        rows=rows,
+        paper={"goal": "§3.3: limit the number of clusters that rollback"},
+    )
+
+
+def baseline_comparison(
+    nodes: int = 20,
+    total_time: float = 4 * HOUR,
+    seed: int = 42,
+    failure_times: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    """HC3I vs the three §2.2/§6 protocol families, identical conditions."""
+    failure_times = list(failure_times or [total_time * 0.45, total_time * 0.8])
+    rows = []
+    for protocol in ("hc3i", "global-coordinated", "independent", "pessimistic-log"):
+        topology, application, timers = table1_workload(
+            nodes=nodes,
+            total_time=total_time,
+            clc_period_0=20 * MINUTE,
+            clc_period_1=20 * MINUTE,
+            messages_1_to_0=103,
+        )
+        fed, results = _run_with_failures(
+            topology,
+            application,
+            timers,
+            protocol=protocol,
+            seed=seed,
+            failure_times=failure_times,
+            victims=[NodeId(0, 1), NodeId(1, 1)],
+        )
+        costs = rollback_costs(fed)
+        checkpoints = sum(
+            results.clc_counts(c)["total"] for c in range(topology.n_clusters)
+        )
+        log_bytes = results.counter("pessimistic/log_bytes")
+        for c in range(topology.n_clusters):
+            log_bytes += results.clusters[c].get("log_bytes", 0) or 0
+        freeze = results.stats.get("global/freeze_time")
+        freeze_mean = freeze["mean"] if isinstance(freeze, dict) else 0.0
+        rows.append(
+            (
+                protocol,
+                checkpoints,
+                costs.failures,
+                round(costs.mean_clusters_per_failure, 2),
+                round(costs.lost_work_node_seconds, 1),
+                log_bytes,
+                round(freeze_mean * 1e3, 3),
+            )
+        )
+    return ExperimentResult(
+        name="Baseline comparison -- HC3I vs §2.2/§6 protocol families",
+        description=(
+            "Same workload, same failure schedule; checkpoints taken, "
+            "rollback scope, lost work, log volume and freeze time."
+        ),
+        headers=[
+            "protocol",
+            "checkpoints",
+            "failures",
+            "clusters rolled/failure",
+            "lost node-seconds",
+            "log bytes",
+            "freeze ms (mean)",
+        ],
+        rows=rows,
+        paper={
+            "global": "not viable at federation scale (§2.2)",
+            "independent": "domino effect (§2.2)",
+            "pessimistic-log": "1-node rollback but logs everything + PWD (§6)",
+        },
+    )
+
+
+def gc_period_sweep(
+    periods_h: Optional[Sequence[Optional[float]]] = None,
+    nodes: int = 50,
+    total_time: float = TOTAL_TIME,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Stored-CLC memory vs garbage-collection frequency (§5.4 tradeoff)."""
+    periods = list(periods_h) if periods_h is not None else [0.5, 1, 2, 4, None]
+    rows = []
+    for period in periods:
+        topology, application, timers = table2_workload(
+            nodes=nodes,
+            total_time=total_time,
+            gc_period=None if period is None else period * HOUR,
+        )
+        fed = Federation(topology, application, timers, seed=seed)
+        results = fed.run()
+        max_stored = 0
+        for c in range(2):
+            gauge = results.stats.get(f"clc/c{c}/stored")
+            if isinstance(gauge, dict):
+                max_stored = max(max_stored, int(gauge["max"]))
+        gc_msgs = sum(
+            results.counter(f"net/protocol/{k}")
+            for k in ("gc_request", "gc_response", "gc_collect", "gc_local")
+        )
+        label = "off" if period is None else f"{period:g}h"
+        rows.append(
+            (
+                label,
+                max_stored,
+                results.stored_clcs(0),
+                results.stored_clcs(1),
+                results.counter("gc/clcs_removed"),
+                gc_msgs,
+            )
+        )
+    return ExperimentResult(
+        name="Ablation -- garbage collection period (§5.4 tradeoff)",
+        description="Peak and final stored CLCs vs GC frequency, plus GC traffic.",
+        headers=[
+            "GC period",
+            "peak stored",
+            "final c0",
+            "final c1",
+            "CLCs removed",
+            "GC messages",
+        ],
+        rows=rows,
+        paper={
+            "tradeoff": "frequency of garbage collection vs number of CLCs stored"
+        },
+    )
+
+
+def incremental_checkpoint_ablation(
+    nodes: int = 20,
+    total_time: float = 4 * HOUR,
+    seed: int = 42,
+    fraction: float = 0.2,
+) -> ExperimentResult:
+    """Full vs incremental stable-storage replication traffic.
+
+    The incremental variant ships a full state once and deltas afterwards;
+    a rollback restarts the chain.  Measures the replica byte volume each
+    policy moves over the SAN for identical CLC schedules.
+    """
+    rows = []
+    for label, options in (
+        ("full replicas (paper)", {}),
+        (
+            f"incremental (delta={fraction:g})",
+            {"incremental": True, "incremental_fraction": fraction},
+        ),
+    ):
+        topology, application, timers = table1_workload(
+            nodes=nodes,
+            total_time=total_time,
+            clc_period_0=20 * MINUTE,
+            clc_period_1=20 * MINUTE,
+            messages_1_to_0=103,
+        )
+        fed, results = _run_with_failures(
+            topology,
+            application,
+            timers,
+            protocol="hc3i",
+            seed=seed,
+            failure_times=[total_time * 0.6],
+            victims=[NodeId(0, 1)],
+            protocol_options=options,
+        )
+        replica_msgs = results.counter("net/protocol/replica")
+        clcs = sum(results.clc_counts(c)["total"] for c in range(2))
+        # replica bytes = protocol bytes attributable to REPLICA messages;
+        # recompute from the stats snapshot by subtracting nothing -- the
+        # fabric only aggregates, so track via message count x sizes is
+        # impossible post-hoc; read the dedicated counter instead.
+        replica_bytes = results.counter("net/bytes/protocol")
+        rows.append((label, clcs, replica_msgs, replica_bytes))
+    return ExperimentResult(
+        name="Ablation -- incremental stable storage",
+        description=(
+            "Replica traffic for full-state vs delta-based neighbour "
+            "replication, same workload and one mid-run failure."
+        ),
+        headers=["variant", "CLCs", "replica messages", "protocol bytes"],
+        rows=rows,
+        paper={
+            "context": "incremental two-level checkpointing variant "
+            "(not evaluated in the paper; delta chains restart on rollback)"
+        },
+    )
+
+
+def replication_degree_sweep(
+    degrees: Sequence[int] = (0, 1, 2, 3),
+    nodes: int = 20,
+    total_time: float = 2 * HOUR,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Stable-storage cost vs faults tolerated (§7 extension)."""
+    rows = []
+    for degree in degrees:
+        topology, application, timers = table1_workload(
+            nodes=nodes,
+            total_time=total_time,
+            clc_period_0=20 * MINUTE,
+            clc_period_1=20 * MINUTE,
+        )
+        fed = Federation(
+            topology,
+            application,
+            timers,
+            seed=seed,
+            protocol_options={"replication_degree": degree},
+        )
+        results = fed.run()
+        stored0 = results.stored_clcs(0)
+        states = fed.storage[0].states_held_by(0, stored0)
+        replica_msgs = results.counter("net/protocol/replica")
+        rows.append(
+            (
+                degree,
+                fed.storage[0].max_tolerated_faults(),
+                stored0,
+                states,
+                replica_msgs,
+            )
+        )
+    return ExperimentResult(
+        name="Ablation -- stable-storage replication degree (§7)",
+        description=(
+            "Each node's state is copied to k ring successors; k faults per "
+            "cluster are survivable at k-fold storage and replica traffic."
+        ),
+        headers=[
+            "degree",
+            "faults tolerated",
+            "stored CLCs (c0)",
+            "states/node (c0)",
+            "replica messages",
+        ],
+        rows=rows,
+        paper={
+            "extension": "§7: user-chosen degree of replication in stable storage"
+        },
+    )

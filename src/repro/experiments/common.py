@@ -1,0 +1,76 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.reporting import format_series, format_table
+from repro.cluster.federation import Federation, FederationResults
+from repro.sim.trace import TraceLevel
+
+__all__ = ["ExperimentResult", "run_federation"]
+
+
+def run_federation(
+    topology,
+    application,
+    timers,
+    protocol: str = "hc3i",
+    protocol_options: Optional[dict] = None,
+    seed: int = 0,
+    trace_level: TraceLevel = TraceLevel.NONE,
+    app_factory=None,
+    until: Optional[float] = None,
+) -> tuple:
+    """Build and run one federation; returns ``(federation, results)``."""
+    fed = Federation(
+        topology,
+        application,
+        timers,
+        protocol=protocol,
+        protocol_options=protocol_options,
+        seed=seed,
+        trace_level=trace_level,
+        app_factory=app_factory,
+    )
+    results = fed.run(until=until)
+    return fed, results
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container every experiment returns.
+
+    ``rows``/``headers`` hold table-style output; sweep experiments fill
+    ``xs``/``series`` instead (or additionally).  ``paper`` records the
+    reference values/claims from the publication so EXPERIMENTS.md and the
+    bench output can show paper-vs-measured side by side.
+    """
+
+    name: str
+    description: str
+    headers: list = field(default_factory=list)
+    rows: list = field(default_factory=list)
+    x_label: str = ""
+    xs: list = field(default_factory=list)
+    series: dict = field(default_factory=dict)
+    paper: dict = field(default_factory=dict)
+    notes: list = field(default_factory=list)
+    runs: list = field(default_factory=list)  # FederationResults, if kept
+
+    def render(self) -> str:
+        parts = [f"== {self.name} ==", self.description]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        if self.series:
+            parts.append(format_series(self.x_label, self.xs, self.series))
+        if self.paper:
+            parts.append("paper reference: " + ", ".join(
+                f"{k}={v}" for k, v in self.paper.items()
+            ))
+        parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(str(p) for p in parts)
+
+    def series_list(self, name: str) -> list:
+        return list(self.series[name])

@@ -1,0 +1,90 @@
+"""Availability under increasing failure rates (HC3I vs baselines).
+
+The paper evaluates overhead in failure-free runs and argues about
+rollback scope qualitatively.  This sweep quantifies the end-to-end
+consequence: for a range of federation MTBFs, how much useful work
+survives?
+
+``goodput`` here is ``1 - lost_node_seconds / total_node_seconds``: the
+fraction of computed node-time that was never rolled back.  HC3I's small
+rollback scope (sender logs!) should keep goodput high where the global
+and independent baselines degrade.
+
+Goodput can go *negative*: when the failure inter-arrival time drops below
+the typical rollback depth, the same wall-clock interval is rolled back
+and re-executed repeatedly, so cumulative lost work exceeds the total
+node-time budget -- utilization collapse, exactly what a checkpoint
+interval mis-tuned against the MTBF looks like (§5.2's advice: set the
+CLC timer "much smaller than the MTBF").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.app.workloads import table1_workload
+from repro.cluster.federation import Federation
+from repro.config.timers import HOUR, MINUTE
+from repro.experiments.common import ExperimentResult
+from repro.sim.trace import TraceLevel
+
+__all__ = ["mtbf_sweep"]
+
+
+def mtbf_sweep(
+    mtbfs: Optional[Sequence[float]] = None,
+    protocols: Sequence[str] = ("hc3i", "global-coordinated", "pessimistic-log"),
+    nodes: int = 10,
+    total_time: float = 8 * HOUR,
+    clc_period: float = 20 * MINUTE,
+    seed: int = 42,
+) -> ExperimentResult:
+    mtbfs = list(mtbfs if mtbfs is not None else [4 * HOUR, 2 * HOUR, HOUR, HOUR / 2])
+    rows = []
+    for protocol in protocols:
+        for mtbf in mtbfs:
+            topology, application, timers = table1_workload(
+                nodes=nodes,
+                total_time=total_time,
+                clc_period_0=clc_period,
+                clc_period_1=clc_period,
+                messages_1_to_0=103,
+            )
+            topology.mtbf = mtbf
+            fed = Federation(
+                topology,
+                application,
+                timers,
+                protocol=protocol,
+                seed=seed,
+                trace_level=TraceLevel.PROTOCOL,
+            )
+            results = fed.run()
+            failures = results.counter("failures/injected")
+            lost = results.stats.get("rollback/lost_work", {})
+            lost_total = lost["total"] if isinstance(lost, dict) else 0.0
+            node_seconds = topology.total_nodes * total_time
+            goodput = 1.0 - lost_total / node_seconds
+            rows.append(
+                (
+                    protocol,
+                    f"{mtbf / HOUR:g}h",
+                    failures,
+                    round(lost_total, 0),
+                    round(goodput, 4),
+                )
+            )
+    return ExperimentResult(
+        name="MTBF sweep -- surviving work under increasing failure rates",
+        description=(
+            "Goodput = 1 - lost node-seconds / total node-seconds; "
+            f"{nodes}-node clusters, {total_time / HOUR:g}h application, "
+            "MTBF-driven single faults."
+        ),
+        headers=["protocol", "MTBF", "failures", "lost node-s", "goodput"],
+        rows=rows,
+        paper={
+            "expectation": "HC3I's bounded rollback scope keeps goodput "
+            "above the whole-federation rollback of global coordination"
+        },
+    )

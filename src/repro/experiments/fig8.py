@@ -1,0 +1,62 @@
+"""Figure 8: storing more CLCs in cluster 1 does not disturb cluster 0.
+
+Setup (§5.2): cluster 0's CLC timer fixed at 30 minutes, cluster 1's timer
+swept from 15 to 60 minutes.  Paper claim: "cluster 0 ... do[es] not store
+more CLCs even if cluster 1 timer is set to 15 minutes.  This is thanks to
+the low number of messages from cluster 1 to cluster 0" -- the cluster 0
+totals stay flat while cluster 1's totals fall with its timer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.app.workloads import TOTAL_TIME, table1_workload
+from repro.config.timers import MINUTE
+from repro.experiments.common import ExperimentResult, run_federation
+
+__all__ = ["cluster1_timer_sweep", "DEFAULT_C1_DELAYS_MIN"]
+
+DEFAULT_C1_DELAYS_MIN = [15, 20, 25, 30, 40, 50, 60]
+
+
+def cluster1_timer_sweep(
+    delays_min: Optional[Sequence[float]] = None,
+    cluster0_delay_min: float = 30.0,
+    nodes: int = 100,
+    total_time: float = TOTAL_TIME,
+    seed: int = 42,
+    protocol: str = "hc3i",
+) -> ExperimentResult:
+    delays = list(delays_min or DEFAULT_C1_DELAYS_MIN)
+    series: dict = {"c0 total": [], "c1 total": [], "c1 forced": []}
+    runs = []
+    for delay in delays:
+        topology, application, timers = table1_workload(
+            nodes=nodes,
+            total_time=total_time,
+            clc_period_0=cluster0_delay_min * MINUTE,
+            clc_period_1=delay * MINUTE,
+        )
+        _fed, results = run_federation(
+            topology, application, timers, protocol=protocol, seed=seed
+        )
+        series["c0 total"].append(results.clc_counts(0)["total"])
+        series["c1 total"].append(results.clc_counts(1)["total"])
+        series["c1 forced"].append(results.clc_counts(1)["forced"])
+        runs.append(results)
+    return ExperimentResult(
+        name="Figure 8 -- Impact of the number of CLCs in cluster 1",
+        description=(
+            "CLC counts vs cluster 1's timer (cluster 0 fixed at "
+            f"{cluster0_delay_min:g} min)."
+        ),
+        x_label="c1 delay (min)",
+        xs=delays,
+        series=series,
+        paper={
+            "c0_total": "flat (~insensitive to cluster 1's timer)",
+            "c1_total": "decreasing with the timer",
+        },
+        runs=runs,
+    )

@@ -1,0 +1,73 @@
+"""Figure 9: communication patterns -- increasing the 1->0 message flow.
+
+Setup (§5.3): both CLC timers at 30 minutes; the number of messages from
+cluster 1 to cluster 0 swept along the x axis (10..110).  Paper claim:
+"The number of forced CLCs increases fast with the number of messages from
+cluster 1 to cluster 0.  If the two clusters communicate a lot in both
+ways, SNs will grow very fast and most of the messages will induce a forced
+CLC.  The overhead of our protocol will not be good in that case."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.app.workloads import TOTAL_TIME, fig9_workload
+from repro.config.timers import MINUTE
+from repro.experiments.common import ExperimentResult, run_federation
+
+__all__ = ["communication_pattern_sweep", "DEFAULT_MESSAGE_COUNTS"]
+
+DEFAULT_MESSAGE_COUNTS = [10, 30, 50, 70, 90, 110]
+
+
+def communication_pattern_sweep(
+    message_counts: Optional[Sequence[int]] = None,
+    nodes: int = 100,
+    total_time: float = TOTAL_TIME,
+    clc_period_min: float = 30.0,
+    seed: int = 42,
+    protocol: str = "hc3i",
+) -> ExperimentResult:
+    counts = list(message_counts or DEFAULT_MESSAGE_COUNTS)
+    series: dict = {
+        "c0 total": [],
+        "c0 forced": [],
+        "c1 total": [],
+        "c1 forced": [],
+        "msgs 1->0": [],
+    }
+    runs = []
+    for target in counts:
+        topology, application, timers = fig9_workload(
+            messages_1_to_0=target,
+            nodes=nodes,
+            total_time=total_time,
+            clc_period=clc_period_min * MINUTE,
+        )
+        _fed, results = run_federation(
+            topology, application, timers, protocol=protocol, seed=seed
+        )
+        c0 = results.clc_counts(0)
+        c1 = results.clc_counts(1)
+        series["c0 total"].append(c0["total"])
+        series["c0 forced"].append(c0["forced"])
+        series["c1 total"].append(c1["total"])
+        series["c1 forced"].append(c1["forced"])
+        series["msgs 1->0"].append(results.app_messages(1, 0))
+        runs.append(results)
+    return ExperimentResult(
+        name="Figure 9 -- Increasing communication from cluster 1 to cluster 0",
+        description=(
+            "Committed CLCs vs the number of 1->0 messages (both CLC timers "
+            f"at {clc_period_min:g} min)."
+        ),
+        x_label="target msgs 1->0",
+        xs=counts,
+        series=series,
+        paper={
+            "c0_forced": "grows fast with the 1->0 message count",
+            "c1_forced": "grows as well (bidirectional SN growth)",
+        },
+        runs=runs,
+    )

@@ -1,0 +1,39 @@
+"""Process-parallel execution of experiment sweeps.
+
+Each sweep point is an independent simulation, so figure sweeps are
+embarrassingly parallel.  ``parallel_map`` fans work out over a process
+pool (simulations are CPU-bound; threads would serialize on the GIL) and
+preserves input order.  Determinism is unaffected: every point builds its
+own federation from an explicit seed, so serial and parallel execution
+produce identical results (asserted in ``tests/test_parallel.py``).
+
+Workers must be module-level functions with picklable arguments.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Optional, Sequence
+
+__all__ = ["parallel_map"]
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    max_workers: Optional[int] = None,
+    serial: bool = False,
+):
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    Falls back to serial execution for trivial inputs or when ``serial``
+    is requested (useful under debuggers and coverage tools).
+    """
+    items = list(items)
+    if serial or len(items) <= 1:
+        return [fn(item) for item in items]
+    if max_workers is None:
+        max_workers = min(len(items), os.cpu_count() or 1)
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,60 @@
+"""Table 1: application message counts for the two-cluster workload.
+
+Paper values (§5.2, 2 clusters x 100 nodes, 10-hour application):
+
+===================  =====
+flow                 count
+===================  =====
+cluster 0 -> 0        2920
+cluster 1 -> 1        2497
+cluster 0 -> 1         145
+cluster 1 -> 0          11
+===================  =====
+"""
+
+from __future__ import annotations
+
+from repro.app.workloads import TOTAL_TIME, table1_workload
+from repro.experiments.common import ExperimentResult, run_federation
+
+__all__ = ["table1_message_counts", "PAPER_TABLE1"]
+
+PAPER_TABLE1 = {(0, 0): 2920, (1, 1): 2497, (0, 1): 145, (1, 0): 11}
+
+
+def table1_message_counts(
+    nodes: int = 100,
+    total_time: float = TOTAL_TIME,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Run the Table 1 workload and report the message-count matrix."""
+    topology, application, timers = table1_workload(
+        nodes=nodes, total_time=total_time
+    )
+    _fed, results = run_federation(topology, application, timers, seed=seed)
+    scale = (nodes * total_time) / (100 * TOTAL_TIME)
+    order = [(0, 0), (1, 1), (0, 1), (1, 0)]
+    rows = []
+    for src, dst in order:
+        measured = results.app_messages(src, dst)
+        expected = PAPER_TABLE1[(src, dst)] * scale
+        rows.append(
+            (f"Cluster {src}", f"Cluster {dst}", measured, round(expected, 1))
+        )
+    exp = ExperimentResult(
+        name="Table 1 -- Application messages",
+        description=(
+            "Message counts per cluster pair for the calibrated two-cluster "
+            "code-coupling workload (simulation on cluster 0, trace "
+            "processing on cluster 1)."
+        ),
+        headers=["Sender's Cluster", "Receiver's Cluster", "Messages", "Paper (scaled)"],
+        rows=rows,
+        paper={f"{s}->{d}": c for (s, d), c in PAPER_TABLE1.items()},
+        runs=[results],
+    )
+    if scale != 1.0:
+        exp.notes.append(
+            f"run scaled by {scale:.4g} (nodes={nodes}, total_time={total_time})"
+        )
+    return exp

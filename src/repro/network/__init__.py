@@ -1,0 +1,24 @@
+"""Cluster-federation network model.
+
+Replaces the paper's hardware testbed assumptions: nodes inside a cluster
+are linked by a SAN (low latency, high bandwidth, e.g. Myrinet), clusters
+are linked by LAN/WAN links with much higher latency.  The model is
+analytic -- ``delay = latency + size / bandwidth`` -- with per-channel FIFO
+ordering and reliable delivery (the paper assumes the network never loses
+messages; the fault-tolerance protocol must therefore handle in-transit
+messages explicitly).
+"""
+
+from repro.network.message import Message, MessageKind, NodeId
+from repro.network.topology import ClusterSpec, LinkSpec, Topology
+from repro.network.fabric import Fabric
+
+__all__ = [
+    "ClusterSpec",
+    "Fabric",
+    "LinkSpec",
+    "Message",
+    "MessageKind",
+    "NodeId",
+    "Topology",
+]

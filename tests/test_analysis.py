@@ -1,0 +1,179 @@
+"""Tests for the analysis subpackage: consistency checker, rollback costs,
+reporting."""
+
+import pytest
+
+from repro.analysis.consistency import check_invariants, verify_consistency
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.rollback_cost import rollback_costs
+from repro.network.message import NodeId
+from tests.conftest import make_federation
+
+
+class TestVerifyConsistency:
+    def test_clean_run_is_consistent(self):
+        fed = make_federation(clc_period=100.0, total_time=600.0, chatty=True)
+        fed.run()
+        report = verify_consistency(fed)
+        assert report.ok
+        assert report.checked_messages >= report.delivered
+
+    def test_detects_fabricated_ghost(self):
+        """Manually corrupting the state must be caught."""
+        fed = make_federation(clc_period=100.0, total_time=300.0, chatty=True)
+        fed.run()
+        cs = fed.protocol.cluster_states[1]
+        cs.delivered_ids.add(999_999_999)  # delivery without any send
+        report = verify_consistency(fed)
+        assert not report.ok
+        assert any(kind == "ghost" for kind, _ in report.violations)
+
+    def test_detects_fabricated_lost_message(self):
+        fed = make_federation(clc_period=100.0, total_time=300.0, chatty=True)
+        fed.run()
+        cs0 = fed.protocol.cluster_states[0]
+        # forge a log entry whose message the receiver never saw
+        from repro.network.message import Message, MessageKind
+        from repro.core.hc3i import Piggyback
+
+        fake = Message(
+            src=NodeId(0, 0), dst=NodeId(1, 0), kind=MessageKind.APP, size=10,
+            piggyback=Piggyback(sn=1, epoch=0),
+        )
+        cs0.sent_log.add(fake, send_sn=1)
+        report = verify_consistency(fed, allow_in_flight=False)
+        assert not report.ok
+        assert any(kind == "lost" for kind, _ in report.violations)
+
+    def test_in_flight_allowance(self):
+        fed = make_federation(clc_period=100.0, total_time=300.0, chatty=True)
+        fed.run()
+        cs0 = fed.protocol.cluster_states[0]
+        from repro.network.message import Message, MessageKind
+        from repro.core.hc3i import Piggyback
+
+        fake = Message(
+            src=NodeId(0, 0), dst=NodeId(1, 0), kind=MessageKind.APP, size=10,
+            piggyback=Piggyback(sn=1, epoch=0),
+        )
+        cs0.sent_log.add(fake, send_sn=1)
+        report = verify_consistency(fed, allow_in_flight=True)
+        assert report.ok
+        assert report.in_flight_allowance >= 1
+
+    def test_non_hc3i_protocol_rejected(self):
+        fed = make_federation(protocol="pessimistic-log", total_time=50.0)
+        fed.run()
+        with pytest.raises(TypeError):
+            verify_consistency(fed)
+
+    def test_report_str(self):
+        fed = make_federation(clc_period=100.0, total_time=200.0)
+        fed.run()
+        report = verify_consistency(fed)
+        assert "consistent" in str(report)
+
+
+class TestCheckInvariants:
+    def test_clean_run_no_violations(self):
+        fed = make_federation(clc_period=100.0, total_time=500.0, chatty=True)
+        fed.run()
+        assert check_invariants(fed) == []
+
+    def test_detects_sn_ddv_mismatch(self):
+        fed = make_federation(clc_period=100.0, total_time=200.0)
+        fed.run()
+        fed.protocol.cluster_states[0].sn += 5
+        problems = check_invariants(fed)
+        assert problems
+        assert any("own entry" in p or "sn" in p for p in problems)
+
+    def test_non_hc3i_returns_empty(self):
+        fed = make_federation(protocol="global-coordinated", total_time=50.0)
+        fed.run()
+        assert check_invariants(fed) == []
+
+
+class TestRollbackCosts:
+    def test_counts_episodes(self):
+        fed = make_federation(
+            clc_period=80.0, total_time=1000.0, chatty=True, seed=4
+        )
+        fed.start()
+        fed.sim.run(until=300.0)
+        fed.inject_failure(NodeId(0, 1))
+        fed.sim.run(until=700.0)
+        fed.inject_failure(NodeId(1, 1))
+        fed.run()
+        costs = rollback_costs(fed)
+        assert costs.failures == 2
+        assert len(costs.clusters_rolled_per_failure) == 2
+        assert costs.mean_clusters_per_failure >= 1.0
+
+    def test_no_failures_zero_costs(self):
+        fed = make_federation(clc_period=100.0, total_time=300.0)
+        fed.run()
+        costs = rollback_costs(fed)
+        assert costs.failures == 0
+        assert costs.rollbacks == 0
+        assert costs.lost_work_node_seconds == 0.0
+        assert costs.mean_clusters_per_failure == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [("a", 1), ("long-name", 123456)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(l) for l in lines[1:])) == 1  # aligned widths
+
+    def test_format_table_floats(self):
+        text = format_table(["x"], [(1.5,), (2.0,)])
+        assert "1.5" in text
+        assert "2" in text  # integral floats rendered without .0
+
+    def test_format_series(self):
+        text = format_series(
+            "x", [1, 2], {"a": [10, 20], "b": [30, 40]}, title="S"
+        )
+        assert "x" in text and "a" in text and "b" in text
+        assert "10" in text and "40" in text
+
+    def test_series_rows_follow_xs(self):
+        text = format_series("x", [5, 9], {"y": [1, 2]})
+        lines = text.splitlines()
+        assert lines[-2].strip().startswith("5")
+        assert lines[-1].strip().startswith("9")
+
+
+class TestDescribeFederation:
+    def test_hc3i_state_dump(self):
+        from repro.analysis.describe import describe_federation
+
+        fed = make_federation(clc_period=100.0, total_time=400.0, chatty=True)
+        fed.run()
+        text = describe_federation(fed)
+        assert "protocol=hc3i" in text
+        assert "c0" in text and "c1" in text
+        assert "stored CLCs" in text
+        assert "initial" in text  # the first CLC's cause appears
+
+    def test_without_clc_detail(self):
+        from repro.analysis.describe import describe_federation
+
+        fed = make_federation(clc_period=100.0, total_time=300.0)
+        fed.run()
+        text = describe_federation(fed, include_clcs=False)
+        assert "-- cluster" not in text
+
+    def test_non_hc3i_protocol(self):
+        from repro.analysis.describe import describe_federation
+
+        fed = make_federation(protocol="global-coordinated", total_time=50.0)
+        fed.run()
+        text = describe_federation(fed)
+        assert "global-coordinated" in text

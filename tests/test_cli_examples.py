@@ -1,0 +1,121 @@
+"""Smoke tests for the CLI and the example scripts."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config.application import ApplicationConfig, ClusterAppSpec
+from repro.config.loader import ScenarioConfig
+from repro.config.timers import TimersConfig
+from repro.network.topology import two_cluster_topology
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    scenario = ScenarioConfig(
+        topology=two_cluster_topology(nodes=2),
+        application=ApplicationConfig(
+            clusters=[
+                ClusterAppSpec(mean_compute=20.0, send_probabilities=[0.8, 0.2]),
+                ClusterAppSpec(mean_compute=20.0, send_probabilities=[0.2, 0.8]),
+            ],
+            total_time=200.0,
+        ),
+        timers=TimersConfig(clc_periods=[60.0, 60.0]),
+    )
+    path = tmp_path / "scenario.json"
+    scenario.save(path)
+    return path
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["--scenario", "x.json", "--seed", "9"])
+        assert args.scenario == "x.json"
+        assert args.seed == 9
+
+    def test_scenario_run(self, scenario_file, capsys):
+        rc = main(["--scenario", str(scenario_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "protocol=hc3i" in out
+        assert "committed CLCs" in out
+
+    def test_json_output(self, scenario_file, capsys):
+        rc = main(["--scenario", str(scenario_file), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["protocol"] == "hc3i"
+        assert payload["duration"] == 200.0
+        assert "0->0" in payload["messages"]
+
+    def test_protocol_override(self, scenario_file, capsys):
+        rc = main([
+            "--scenario", str(scenario_file), "--protocol", "independent", "--json"
+        ])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["protocol"] == "independent"
+
+    def test_until_flag(self, scenario_file, capsys):
+        rc = main(["--scenario", str(scenario_file), "--until", "50", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["duration"] == 50.0
+
+    def test_missing_files_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--topology", "only-this.json"])
+
+    def test_three_file_invocation(self, tmp_path, capsys):
+        from repro.config.loader import topology_to_dict
+
+        (tmp_path / "topo.json").write_text(
+            json.dumps(topology_to_dict(two_cluster_topology(nodes=2)))
+        )
+        (tmp_path / "app.json").write_text(json.dumps({
+            "clusters": [
+                {"mean_compute": 30.0, "send_probabilities": [0.9, 0.1]},
+                {"mean_compute": 30.0, "send_probabilities": [0.1, 0.9]},
+            ],
+            "total_time": 120.0,
+        }))
+        (tmp_path / "timers.json").write_text(json.dumps({"clc_periods": [60, 60]}))
+        rc = main([
+            "--topology", str(tmp_path / "topo.json"),
+            "--application", str(tmp_path / "app.json"),
+            "--timers", str(tmp_path / "timers.json"),
+        ])
+        assert rc == 0
+
+    def test_trace_output(self, scenario_file, capsys):
+        rc = main(["--scenario", str(scenario_file), "--trace", "protocol"])
+        assert rc == 0
+        assert "clc_commit" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "failure_recovery.py",
+        "garbage_collection.py",
+        "code_coupling_pipeline.py",
+        "protocol_comparison.py",
+        "config_files.py",
+    ],
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()

@@ -1,0 +1,95 @@
+"""The paper's Figure 4 argument, executed.
+
+§3.2: "CLC2 is useful: in the event of a failure, a rollback to CLC1/CLC2
+will be consistent (m1 would be sent and received again).  On the other
+hand, forcing CLC3 is useless: cluster 1 has not stored any CLC between
+its two message sendings.  In the event of a failure it will have to
+rollback to CLC1 which will force cluster 2 to rollback to CLC2."
+
+Scenario: cluster 0 sends m1 and m2 with no CLC in between.  HC3I forces a
+checkpoint for m1 only; the strawman forces one for each.  We then crash
+cluster 0 and verify the strawman's extra checkpoint (CLC3) was indeed
+useless: cluster 1 rolls back *through* it to the m1 boundary either way.
+"""
+
+import pytest
+
+from repro.app.process import scripted_sender_factory
+from repro.network.message import NodeId
+from tests.conftest import make_federation
+
+
+def run_fig4(protocol: str):
+    fed = make_federation(
+        n_clusters=2,
+        nodes=2,
+        clc_period=None,
+        total_time=300.0,
+        protocol=protocol,
+        app_factory=scripted_sender_factory({
+            NodeId(0, 0): [
+                (10.0, NodeId(1, 0), 100),   # m1
+                (30.0, NodeId(1, 0), 100),   # m2 -- no cluster-0 CLC between
+            ],
+        }),
+    )
+    fed.start()
+    fed.sim.run(until=60.0)
+    return fed
+
+
+class TestFigure4:
+    def test_hc3i_forces_only_for_m1(self):
+        fed = run_fig4("hc3i")
+        counts = fed.results().clc_counts(1)
+        assert counts["forced"] == 1  # CLC2 (useful); no CLC3
+
+    def test_strawman_forces_both(self):
+        fed = run_fig4("cic-always")
+        counts = fed.results().clc_counts(1)
+        assert counts["forced"] == 2  # CLC2 and the useless CLC3
+
+    def test_clc3_is_useless_on_rollback(self):
+        """After cluster 0's failure, the strawman's CLC3 does not save
+        cluster 1 anything: both protocols land on the m1 boundary."""
+        landing = {}
+        for protocol in ("hc3i", "cic-always"):
+            fed = run_fig4(protocol)
+            # cluster 0 rolls back to its only CLC (the initial, SN 1):
+            # both m1 and m2 were sent in epoch 1, so both are erased.
+            fed.inject_failure(NodeId(0, 1))
+            fed.sim.run(until=300.0)
+            rec = fed.tracer.first("rollback", cluster=1)
+            assert rec is not None
+            landing[protocol] = rec["to_sn"]
+            # the boundary CLC taken for m1 is SN 2 in both protocols
+            assert landing[protocol] == 2
+        assert landing["hc3i"] == landing["cic-always"]
+
+    def test_m2_would_be_useful_with_intermediate_clc(self):
+        """Counterpoint (the paper's 'CLC3 would have been useful only
+        if...'): with a cluster-0 CLC between the sends, HC3I forces for
+        m2 as well, and that checkpoint now has value."""
+        fed = make_federation(
+            n_clusters=2,
+            nodes=2,
+            clc_period=None,
+            total_time=300.0,
+            app_factory=scripted_sender_factory({
+                NodeId(0, 0): [
+                    (10.0, NodeId(1, 0), 100),
+                    (30.0, NodeId(1, 0), 100),
+                ],
+            }),
+        )
+        fed.start()
+        fed.sim.schedule_at(20.0, fed.protocol.request_checkpoint, 0)
+        fed.sim.run(until=60.0)
+        assert fed.results().clc_counts(1)["forced"] == 2
+        # cluster 0 now rolls back to SN 2 (its manual CLC): only m2 is
+        # erased, and cluster 1 keeps m1 by landing on its second forced
+        # CLC (SN 3) instead of unwinding to the m1 boundary.
+        fed.inject_failure(NodeId(0, 1))
+        fed.sim.run(until=300.0)
+        rec = fed.tracer.first("rollback", cluster=1)
+        assert rec is not None and rec["to_sn"] == 3

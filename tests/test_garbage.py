@@ -1,0 +1,168 @@
+"""Protocol tests: garbage collection (§3.5), centralized and distributed."""
+
+import pytest
+
+from repro.app.process import scripted_sender_factory
+from repro.network.message import NodeId
+from tests.conftest import make_federation
+
+
+def busy_fed(gc_mode="centralized", gc_period=200.0, n_clusters=2, **kw):
+    """Bidirectional chatter so CLCs and log entries accumulate."""
+    return make_federation(
+        n_clusters=n_clusters,
+        nodes=2,
+        clc_period=60.0,
+        gc_period=gc_period,
+        total_time=1000.0,
+        chatty=True,
+        protocol_options={"gc_mode": gc_mode},
+        **kw,
+    )
+
+
+class TestCentralizedGc:
+    def test_rounds_happen_periodically(self):
+        fed = busy_fed()
+        results = fed.run()
+        gc = fed.protocol.garbage_collector
+        assert gc.rounds_started >= 4
+        assert gc.rounds_completed >= 4
+
+    def test_old_clcs_removed(self):
+        fed = busy_fed()
+        results = fed.run()
+        assert results.counter("gc/clcs_removed") > 0
+        # after each GC at most a handful of CLCs remain
+        for c in range(2):
+            for _t, _before, after in results.gc_series(c):
+                assert after <= 3
+
+    def test_before_after_series_recorded(self):
+        fed = busy_fed()
+        results = fed.run()
+        series = results.gc_series(0)
+        assert len(series) >= 4
+        for _t, before, after in series:
+            assert after <= before
+
+    def test_acked_log_entries_pruned(self):
+        fed = busy_fed()
+        results = fed.run()
+        assert results.counter("gc/log_entries_removed") > 0
+
+    def test_message_pattern(self):
+        """N-1 requests + N-1 responses + N-1 collects per round, plus an
+        intra-cluster broadcast (§5.4)."""
+        fed = busy_fed(n_clusters=3)
+        results = fed.run()
+        gc = fed.protocol.garbage_collector
+        started, completed = gc.rounds_started, gc.rounds_completed
+        assert completed > 0
+        # a round may still be in flight when the simulation ends
+        assert results.counter("net/protocol/gc_request") == 2 * started
+        assert 2 * completed <= results.counter("net/protocol/gc_response") <= 2 * started
+        assert results.counter("net/protocol/gc_collect") == 2 * completed
+        # each of the 3 clusters broadcasts to its 1 other node per round
+        assert results.counter("net/protocol/gc_local") == 3 * completed
+
+    def test_gc_never_breaks_recovery(self):
+        """After every GC, a failure anywhere still finds a rollback
+        target among the kept CLCs."""
+        fed = busy_fed()
+        fed.start()
+        fed.sim.run(until=850.0)  # several GCs happened
+        fed.inject_failure(NodeId(0, 1))
+        fed.sim.run(until=1000.0)
+        # the faulty cluster restored something
+        assert fed.tracer.first("rollback", cluster=0) is not None
+        # and every alert-triggered check found a target (no defensive
+        # "no qualifying CLC" path taken): rollback count is bounded
+        assert fed.results().counter("rollback/total") >= 1
+
+    def test_on_demand_collection(self):
+        fed = make_federation(
+            nodes=2, clc_period=50.0, gc_period=None, total_time=400.0,
+        )
+        fed.start()
+        fed.sim.run(until=300.0)
+        stored_before = len(fed.protocol.cluster_states[0].store)
+        fed.protocol.collect_garbage()
+        fed.sim.run(until=400.0)
+        stored_after = len(fed.protocol.cluster_states[0].store)
+        assert stored_after <= stored_before
+        assert fed.protocol.garbage_collector.rounds_completed == 1
+
+    def test_no_gc_when_period_none(self):
+        fed = make_federation(
+            nodes=2, clc_period=50.0, gc_period=None, total_time=500.0,
+        )
+        results = fed.run()
+        assert fed.protocol.garbage_collector.rounds_started == 0
+        # CLCs accumulate unboundedly
+        assert results.stored_clcs(0) >= 8
+
+
+class TestDistributedGc:
+    def test_rounds_complete(self):
+        fed = busy_fed(gc_mode="distributed")
+        fed.run()
+        gc = fed.protocol.garbage_collector
+        assert gc.rounds_completed >= 4
+
+    def test_prunes_like_centralized(self):
+        fed = busy_fed(gc_mode="distributed")
+        results = fed.run()
+        assert results.counter("gc/clcs_removed") > 0
+        for _t, _before, after in results.gc_series(0):
+            assert after <= 3
+
+    def test_token_message_count(self):
+        """Two laps of the ring: 2*N inter-cluster messages per round."""
+        fed = busy_fed(gc_mode="distributed", n_clusters=3)
+        results = fed.run()
+        rounds = fed.protocol.garbage_collector.rounds_completed
+        token_msgs = results.counter("net/protocol/gc_request") + results.counter(
+            "net/protocol/gc_collect"
+        )
+        assert token_msgs == pytest.approx(2 * 3 * rounds, abs=3)
+
+    def test_equivalent_bounds(self):
+        """Both collectors compute the same prune bounds on the same state."""
+        outcomes = {}
+        for mode in ("centralized", "distributed"):
+            fed = make_federation(
+                nodes=2,
+                clc_period=60.0,
+                gc_period=None,
+                total_time=600.0,
+                chatty=True,
+                protocol_options={"gc_mode": mode},
+                seed=7,
+            )
+            fed.start()
+            fed.sim.run(until=500.0)
+            fed.protocol.collect_garbage()
+            fed.sim.run(until=600.0)
+            outcomes[mode] = [
+                fed.protocol.cluster_states[c].store.sns() for c in range(2)
+            ]
+        assert outcomes["centralized"] == outcomes["distributed"]
+
+
+class TestGcEpochGuard:
+    def test_round_skipped_after_concurrent_rollback(self):
+        """A GC round that raced a rollback must not prune."""
+        fed = make_federation(
+            nodes=2, clc_period=50.0, gc_period=None, total_time=600.0,
+        )
+        fed.start()
+        fed.sim.run(until=300.0)
+        gc = fed.protocol.garbage_collector
+        # Start a GC round, then roll a cluster back before the collect
+        # phase can apply (we fake it by bumping the epoch mid-round).
+        gc.collect_now()
+        cs = fed.protocol.cluster_states[1]
+        cs.rollback_epoch += 1  # simulates a rollback racing the round
+        fed.sim.run(until=400.0)
+        assert fed.results().counter("gc/skipped") >= 1

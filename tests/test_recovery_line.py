@@ -1,0 +1,151 @@
+"""Unit tests for the pure recovery-line / GC bound computations."""
+
+import pytest
+
+from repro.core.recovery_line import cascade_targets, compute_min_sns
+
+
+def stored(*cluster_records):
+    """Helper: each argument is a list of (sn, ddv-tuple) for one cluster."""
+    return [list(records) for records in cluster_records]
+
+
+class TestCascadeTargets:
+    def test_faulty_rolls_to_last(self):
+        s = stored(
+            [(1, (1, 0)), (2, (2, 0))],
+            [(1, (0, 1))],
+        )
+        targets = cascade_targets(s, current_ddvs=[(2, 0), (0, 1)], failed=0)
+        assert targets[0] == 2
+        assert targets[1] is None  # no dependency on cluster 0
+
+    def test_dependent_cluster_rolls_back(self):
+        # cluster 1 received from cluster 0 with SN 2: forced CLC ddv (2, 2)
+        s = stored(
+            [(1, (1, 0)), (2, (2, 0)), (3, (3, 0))],
+            [(1, (0, 1)), (2, (2, 2))],
+        )
+        # cluster 0 fails having stored 2 CLCs -> new SN 2... make its last 2
+        s[0] = [(1, (1, 0)), (2, (2, 0))]
+        targets = cascade_targets(s, current_ddvs=[(2, 0), (2, 2)], failed=0)
+        assert targets[0] == 2
+        # ddv[0]=2 >= alert 2 -> oldest CLC with ddv[0] >= 2 is sn 2
+        assert targets[1] == 2
+
+    def test_no_rollback_when_entry_below_alert(self):
+        s = stored(
+            [(1, (1, 0)), (2, (2, 0)), (3, (3, 0))],
+            [(1, (0, 1)), (2, (2, 2))],
+        )
+        # cluster 0's last CLC is 3: alert SN 3 > ddv[0]=2 everywhere in c1
+        targets = cascade_targets(s, current_ddvs=[(3, 0), (2, 2)], failed=0)
+        assert targets == [3, None]
+
+    def test_figure5_cascade(self):
+        """The paper's §4 example (clusters 0,1,2 = paper 1,2,3)."""
+        c0 = [(1, (1, 0, 0)), (2, (2, 0, 3))]          # m5 forced sn 2
+        c1 = [(1, (0, 1, 0)), (2, (1, 2, 0)), (3, (1, 3, 0)), (4, (1, 4, 0))]
+        c2 = [(1, (0, 0, 1)), (2, (0, 3, 2)), (3, (0, 4, 3))]  # m3, m4 forced
+        current = [(2, 0, 3), (1, 4, 0), (0, 4, 3)]
+        targets = cascade_targets([c0, c1, c2], current, failed=1)
+        assert targets[1] == 4          # faulty: last CLC
+        assert targets[2] == 3          # oldest with ddv[1] >= 4
+        assert targets[0] == 2          # oldest with ddv[2] >= 3 (cascade)
+
+    def test_cascade_terminates_on_cycle(self):
+        # two clusters that depend on each other heavily
+        c0 = [(1, (1, 0)), (2, (2, 1)), (3, (3, 2))]
+        c1 = [(1, (0, 1)), (2, (2, 2)), (3, (3, 3))]
+        targets = cascade_targets(
+            [c0, c1], current_ddvs=[(3, 2), (3, 3)], failed=0
+        )
+        assert targets[0] is not None and targets[1] is not None
+
+    def test_deep_cascade_to_initial(self):
+        # every checkpoint of c1 depends on the latest of c0 -> domino to 1
+        c0 = [(1, (1, 0))]
+        c1 = [(1, (0, 1)), (2, (1, 2))]
+        targets = cascade_targets([c0, c1], [(1, 0), (1, 2)], failed=0)
+        assert targets[0] == 1
+        assert targets[1] == 2  # oldest with ddv[0] >= 1
+
+    def test_current_ddv_triggers_without_new_checkpoint(self):
+        # c1's current DDV saw SN 2 (update pending in last CLC) -- the
+        # stored CLC with ddv[0] >= 2 is the boundary forced CLC.
+        c0 = [(1, (1, 0)), (2, (2, 0))]
+        c1 = [(1, (0, 1)), (2, (2, 2))]
+        targets = cascade_targets([c0, c1], [(2, 0), (2, 2)], failed=0)
+        assert targets[1] == 2
+
+    def test_bad_failed_index(self):
+        with pytest.raises(ValueError):
+            cascade_targets([[(1, (1,))]], [(1,)], failed=3)
+
+    def test_faulty_without_checkpoints(self):
+        with pytest.raises(ValueError):
+            cascade_targets([[], [(1, (0, 1))]], [(0, 0), (0, 1)], failed=0)
+
+    def test_non_monotone_sns_rejected(self):
+        with pytest.raises(ValueError):
+            cascade_targets(
+                [[(2, (2, 0)), (1, (1, 0))], [(1, (0, 1))]],
+                [(2, 0), (0, 1)],
+                failed=0,
+            )
+
+    def test_three_cluster_chain(self):
+        # c0 -> c1 -> c2 dependency chain; failure of c0 unwinds all
+        c0 = [(1, (1, 0, 0))]
+        c1 = [(1, (0, 1, 0)), (2, (1, 2, 0))]
+        c2 = [(1, (0, 0, 1)), (2, (0, 2, 2))]
+        targets = cascade_targets(
+            [c0, c1, c2], [(1, 0, 0), (1, 2, 0), (0, 2, 2)], failed=0
+        )
+        assert targets == [1, 2, 2]
+
+
+class TestComputeMinSns:
+    def test_independent_clusters_keep_last(self):
+        s = stored(
+            [(1, (1, 0)), (2, (2, 0))],
+            [(1, (0, 1)), (2, (0, 2))],
+        )
+        mins = compute_min_sns(s, [(2, 0), (0, 2)])
+        assert mins == [2, 2]  # only own-failure scenarios matter
+
+    def test_dependency_lowers_bound(self):
+        c0 = [(1, (1, 0)), (2, (2, 0)), (3, (3, 0))]
+        c1 = [(1, (0, 1)), (2, (2, 2))]
+        mins = compute_min_sns([c0, c1], [(3, 0), (2, 2)])
+        # c0's failure rolls it to 3; c1 keeps 2 (ddv[0]=2 < 3).
+        # c1's failure rolls it to 2; c0 does not depend on c1 -> stays.
+        assert mins == [3, 2]
+
+    def test_mutual_dependencies(self):
+        c0 = [(1, (1, 0)), (2, (2, 1)), (3, (3, 2))]
+        c1 = [(1, (0, 1)), (2, (2, 2)), (3, (3, 3))]
+        mins = compute_min_sns([c0, c1], [(3, 2), (3, 3)])
+        # both failure scenarios drag the peer back
+        assert mins[0] <= 3 and mins[1] <= 3
+        assert mins[0] >= 1 and mins[1] >= 1
+
+    def test_pruning_with_bounds_preserves_targets(self):
+        """GC safety: after pruning sn < min, every failure still finds its
+        cascade targets among the kept CLCs."""
+        c0 = [(1, (1, 0)), (2, (2, 0)), (3, (3, 2))]
+        c1 = [(1, (0, 1)), (2, (2, 2)), (3, (2, 3))]
+        current = [(3, 2), (2, 3)]
+        mins = compute_min_sns([c0, c1], current)
+        pruned = [
+            [(sn, ddv) for sn, ddv in cluster if sn >= mins[i]]
+            for i, cluster in enumerate([c0, c1])
+        ]
+        for failed in (0, 1):
+            before = cascade_targets([c0, c1], current, failed)
+            after = cascade_targets(pruned, current, failed)
+            assert before == after
+
+    def test_empty_cluster_bound_zero(self):
+        mins = compute_min_sns([[], [(1, (0, 1))]], [(0, 0), (0, 1)])
+        assert mins[0] == 0

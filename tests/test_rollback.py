@@ -1,0 +1,288 @@
+"""Protocol tests: rollback, alerts, recovery line, replays (§3.3-§3.4)."""
+
+import pytest
+
+from repro.app.process import Mailbox, scripted_sender_factory
+from repro.core.recovery_line import cascade_targets
+from repro.network.message import NodeId
+from tests.conftest import make_federation
+
+
+def scripted_fed(scripts, n_clusters=2, nodes=2, total_time=400.0, **kw):
+    return make_federation(
+        n_clusters=n_clusters,
+        nodes=nodes,
+        clc_period=None,
+        total_time=total_time,
+        app_factory=scripted_sender_factory(scripts),
+        **kw,
+    )
+
+
+class TestFaultyClusterRollback:
+    def test_rolls_back_to_last_clc(self):
+        fed = make_federation(clc_period=50.0, total_time=400.0)
+        fed.start()
+        fed.sim.run(until=180.0)
+        cs = fed.protocol.cluster_states[0]
+        last_sn = cs.store.last().sn
+        fed.inject_failure(NodeId(0, 1))
+        fed.sim.run(until=200.0)
+        assert cs.sn == last_sn
+        rec = fed.tracer.first("rollback", cluster=0)
+        assert rec is not None and rec["to_sn"] == last_sn
+
+    def test_epoch_increments(self):
+        fed = make_federation(clc_period=50.0, total_time=400.0)
+        fed.start()
+        fed.sim.run(until=100.0)
+        fed.inject_failure(NodeId(0, 0))
+        fed.sim.run(until=150.0)
+        assert fed.protocol.cluster_states[0].rollback_epoch == 1
+
+    def test_newer_clcs_discarded(self):
+        fed = make_federation(clc_period=30.0, total_time=400.0)
+        fed.start()
+        fed.sim.run(until=100.0)
+        cs = fed.protocol.cluster_states[0]
+        n_before = len(cs.store)
+        assert n_before >= 3
+        # roll back manually to an older record (simulating a deep alert)
+        target = cs.store.records[0]
+        fed.protocol.recovery._do_rollback(0, target)
+        assert len(cs.store) == 1
+        assert cs.store.discarded_by_rollback == n_before - 1
+        assert cs.sn == target.sn
+
+    def test_lost_work_accounted(self):
+        fed = make_federation(clc_period=50.0, total_time=400.0)
+        fed.start()
+        fed.sim.run(until=180.0)
+        fed.inject_failure(NodeId(0, 1))
+        fed.sim.run(until=200.0)
+        tally = fed.stats.tally("rollback/lost_work")
+        assert tally.count == 3  # one per node of the cluster
+        assert tally.mean > 0
+
+    def test_apps_restart_after_recovery(self):
+        fed = make_federation(clc_period=50.0, total_time=400.0, chatty=True)
+        fed.start()
+        fed.sim.run(until=100.0)
+        fed.inject_failure(NodeId(0, 1))
+        fed.sim.run(until=150.0)
+        for node in fed.clusters[0].nodes:
+            assert node.up
+            assert node.app_process is not None and node.app_process.alive
+
+    def test_alerts_sent_to_every_other_cluster(self):
+        fed = make_federation(n_clusters=3, clc_period=50.0, total_time=400.0)
+        fed.start()
+        fed.sim.run(until=100.0)
+        fed.inject_failure(NodeId(1, 0))
+        results = fed.run()
+        assert results.counter("rollback/alerts_sent") >= 2
+
+    def test_alert_broadcast_inside_cluster(self):
+        fed = make_federation(nodes=4, clc_period=50.0, total_time=400.0)
+        fed.start()
+        fed.sim.run(until=100.0)
+        fed.inject_failure(NodeId(0, 1))
+        results = fed.run()
+        # 1 alert to cluster 1's leader, re-broadcast to its 3 other nodes
+        assert results.counter("net/protocol/alert") == 1
+        assert results.counter("net/protocol/alert_local") == 3
+
+
+class TestDependentClusterRollback:
+    def three_cluster_chain(self):
+        """c0 sends to c1, then c1 checkpoints and sends to c2."""
+        fed = scripted_fed(
+            {
+                NodeId(0, 0): [(10.0, NodeId(1, 0), 100)],
+                NodeId(1, 0): [(50.0, NodeId(2, 0), 100)],
+            },
+            n_clusters=3,
+        )
+        return fed
+
+    def test_receiver_rolls_back_on_dependency(self):
+        fed = self.three_cluster_chain()
+        fed.start()
+        fed.sim.run(until=100.0)
+        # c1: sn 2 (initial + forced by m1); it then sent to c2 with SN 2,
+        # so c2 took a forced CLC with ddv[1] = 2.
+        cs1 = fed.protocol.cluster_states[1]
+        cs2 = fed.protocol.cluster_states[2]
+        assert cs1.sn == 2 and cs2.ddv[1] == 2
+        # kill a node of c1: it rolls to sn 2 (its last CLC) -> alert(2);
+        # c2's ddv[1] = 2 >= 2 -> c2 rolls to its forced CLC (sn 2).
+        fed.inject_failure(NodeId(1, 1))
+        fed.sim.run(until=200.0)
+        assert fed.tracer.first("rollback", cluster=2) is not None
+        assert cs2.sn == 2
+
+    def test_unrelated_cluster_does_not_roll(self):
+        fed = self.three_cluster_chain()
+        fed.start()
+        fed.sim.run(until=100.0)
+        fed.inject_failure(NodeId(1, 1))
+        fed.sim.run(until=200.0)
+        # c0 never received anything: it must not roll back
+        assert fed.tracer.first("rollback", cluster=0) is None
+
+    def test_live_cascade_matches_pure_function(self):
+        fed = self.three_cluster_chain()
+        fed.start()
+        fed.sim.run(until=100.0)
+        states = fed.protocol.cluster_states
+        stored = [cs.store.ddv_list() for cs in states]
+        current = [cs.ddv_tuple() for cs in states]
+        predicted = cascade_targets(stored, current, failed=1)
+        fed.inject_failure(NodeId(1, 1))
+        fed.sim.run(until=200.0)
+        for c, target in enumerate(predicted):
+            if target is None:
+                assert fed.tracer.first("rollback", cluster=c) is None
+            else:
+                rec = fed.tracer.first("rollback", cluster=c)
+                assert rec is not None and rec["to_sn"] == target
+
+    def test_no_double_rollback_same_alert(self):
+        fed = self.three_cluster_chain()
+        fed.start()
+        fed.sim.run(until=100.0)
+        fed.inject_failure(NodeId(1, 1))
+        fed.sim.run(until=300.0)
+        # each cluster rolled back at most once
+        for c in range(3):
+            assert fed.tracer.count("rollback", cluster=c) <= 1
+
+
+class TestReplays:
+    def chain_with_lost_delivery(self):
+        """c0 sends m at t=10 (forces CLC in c1), then c1 advances with a
+        manual CLC at t=50 and c0 sends m2 at t=60 (delivered in epoch 3).
+        A failure in c1 at t=80 rolls it to SN 3 < ack(m2)=4 -> replay m2.
+        """
+        fed = scripted_fed({
+            NodeId(0, 0): [
+                (10.0, NodeId(1, 0), 100),
+                (60.0, NodeId(1, 0), 100),
+            ],
+        })
+        fed.start()
+        fed.sim.schedule_at(50.0, fed.protocol.request_checkpoint, 1)
+        return fed
+
+    def test_lost_delivery_replayed(self):
+        fed = self.chain_with_lost_delivery()
+        fed.sim.run(until=70.0)
+        entries = sorted(
+            fed.protocol.cluster_states[0].sent_log, key=lambda e: e.msg.msg_id
+        )
+        assert [e.ack_sn for e in entries] == [2, 4]
+        fed.inject_failure(NodeId(1, 1))
+        fed.sim.run(until=300.0)
+        assert fed.results().counter("rollback/replays") == 1
+        # the replayed message was delivered again in the new timeline
+        cs1 = fed.protocol.cluster_states[1]
+        assert entries[1].msg.msg_id in cs1.delivered_ids
+
+    def test_survived_delivery_not_replayed(self):
+        fed = self.chain_with_lost_delivery()
+        fed.sim.run(until=70.0)
+        entries = sorted(
+            fed.protocol.cluster_states[0].sent_log, key=lambda e: e.msg.msg_id
+        )
+        m1 = entries[0]
+        fed.inject_failure(NodeId(1, 1))
+        fed.sim.run(until=300.0)
+        assert m1.replays == 0  # ack 2 <= alert SN 3: survived the rollback
+
+    def test_replay_reacked(self):
+        fed = self.chain_with_lost_delivery()
+        fed.sim.run(until=70.0)
+        fed.inject_failure(NodeId(1, 1))
+        fed.sim.run(until=300.0)
+        entries = sorted(
+            fed.protocol.cluster_states[0].sent_log, key=lambda e: e.msg.msg_id
+        )
+        assert entries[1].ack_sn is not None  # fresh ack after replay
+
+    def test_sender_rollback_drops_its_sends(self):
+        """If the SENDER rolls back, sends from erased epochs leave the log
+        and are never replayed (they would be ghosts)."""
+        fed = scripted_fed({
+            NodeId(0, 0): [(10.0, NodeId(1, 0), 100)],
+        })
+        fed.start()
+        fed.sim.run(until=50.0)
+        cs0 = fed.protocol.cluster_states[0]
+        assert len(cs0.sent_log) == 1
+        # c0's send happened in epoch 1 (after initial CLC, before any
+        # other), so rolling c0 back to its initial CLC erases it.
+        fed.inject_failure(NodeId(0, 1))
+        fed.sim.run(until=300.0)
+        assert len(cs0.sent_log) == 0
+        assert cs0.sent_log.dropped_by_rollback == 1
+
+    def test_ghost_message_erased_at_receiver(self):
+        """The receiver of a now-ghost message rolls back past its
+        delivery (its DDV entry >= the alert SN guarantees it)."""
+        fed = scripted_fed({
+            NodeId(0, 0): [(10.0, NodeId(1, 0), 100)],
+        })
+        fed.start()
+        fed.sim.run(until=50.0)
+        sent_id = next(iter(fed.protocol.cluster_states[0].sent_log)).msg.msg_id
+        cs1 = fed.protocol.cluster_states[1]
+        assert sent_id in cs1.delivered_ids
+        fed.inject_failure(NodeId(0, 1))
+        fed.sim.run(until=300.0)
+        assert sent_id not in cs1.delivered_ids
+
+    def test_no_replay_mode_rolls_sender_back(self):
+        fed = scripted_fed(
+            {
+                NodeId(0, 0): [
+                    (10.0, NodeId(1, 0), 100),
+                    (60.0, NodeId(1, 0), 100),
+                ],
+            },
+            protocol_options={"replay_enabled": False},
+        )
+        fed.start()
+        fed.sim.schedule_at(50.0, fed.protocol.request_checkpoint, 1)
+        fed.sim.run(until=70.0)
+        fed.inject_failure(NodeId(1, 1))
+        fed.sim.run(until=300.0)
+        results = fed.results()
+        assert results.counter("rollback/replays") == 0
+        assert results.counter("rollback/no_log_forced") == 1
+        assert fed.tracer.first("rollback", cluster=0) is not None
+
+
+class TestNoOpGuard:
+    def test_repeated_alert_does_not_loop(self):
+        fed = scripted_fed({NodeId(0, 0): [(10.0, NodeId(1, 0), 100)]})
+        fed.start()
+        fed.sim.run(until=50.0)
+        # deliver the same alert twice by hand
+        mgr = fed.protocol.recovery
+        mgr.on_alert(1, faulty=0, alert_sn=1, faulty_epoch=1)
+        rollbacks_after_first = fed.tracer.count("rollback", cluster=1)
+        mgr.on_alert(1, faulty=0, alert_sn=1, faulty_epoch=1)
+        fed.sim.run(until=100.0)
+        assert fed.tracer.count("rollback", cluster=1) == rollbacks_after_first
+
+    def test_cascade_settles(self):
+        """Bidirectional traffic + failure: the alert storm terminates."""
+        fed = make_federation(
+            n_clusters=3, clc_period=40.0, total_time=600.0, chatty=True
+        )
+        fed.start()
+        fed.sim.run(until=300.0)
+        fed.inject_failure(NodeId(0, 1))
+        fed.sim.run(until=600.0)
+        # bounded number of rollbacks (no livelock)
+        assert fed.results().counter("rollback/total") <= 6
