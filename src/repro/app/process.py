@@ -15,7 +15,7 @@ worked example, protocol unit tests): an explicit list of timed sends.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.network.message import Message, NodeId
 from repro.sim.process import Interrupt, Timeout

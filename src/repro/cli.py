@@ -9,6 +9,12 @@ and printed statistical data.  Usage::
 or, without installing the entry point::
 
     python -m repro.cli --scenario scenario.json
+
+Paper sweeps run through the parallel experiment engine::
+
+    repro sweep --list
+    repro sweep table1 --jobs 4
+    repro sweep fig6-fig7 --scale tiny --no-cache
 """
 
 from __future__ import annotations
@@ -24,7 +30,14 @@ from repro.config.loader import ScenarioConfig, load_scenario
 from repro.core.protocol import protocol_names
 from repro.sim.trace import TraceLevel
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_sweep_parser"]
+
+#: grid overrides per --scale profile ("full" = the grids' paper defaults)
+SCALE_PROFILES = {
+    "full": {},
+    "small": {"nodes": 10, "total_time": 7200.0},
+    "tiny": {"nodes": 4, "total_time": 1800.0},
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,68 +83,144 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _experiment_registry() -> dict:
-    from repro.experiments import (
-        baseline_comparison,
-        clc_delay_sweep,
-        cluster1_timer_sweep,
-        communication_pattern_sweep,
-        gc_three_clusters,
-        gc_two_clusters,
-        incremental_checkpoint_ablation,
-        message_logging_ablation,
-        no_gc_reference,
-        replication_degree_sweep,
-        table1_message_counts,
-        transitive_ddv_ablation,
-    )
+def _experiment_names() -> list:
+    from repro.experiments import registry
 
-    scaled = {
-        "table1": table1_message_counts,
-        "fig6-fig7": clc_delay_sweep,
-        "fig8": cluster1_timer_sweep,
-        "fig9": communication_pattern_sweep,
-        "table2": gc_two_clusters,
-        "table3": gc_three_clusters,
-        "no-gc": no_gc_reference,
-    }
-    from repro.experiments import federation_scaling, mtbf_sweep, multi_seed_robustness, protocol_overhead
-
-    scaled["overhead"] = protocol_overhead
-    scaled["robustness"] = multi_seed_robustness
-    fixed = {
-        "ablation-transitive": transitive_ddv_ablation,
-        "ablation-logging": message_logging_ablation,
-        "ablation-incremental": incremental_checkpoint_ablation,
-        "ablation-replication": replication_degree_sweep,
-        "baselines": baseline_comparison,
-        "mtbf": mtbf_sweep,
-        "scaling": federation_scaling,
-    }
-    return {"scaled": scaled, "fixed": fixed}
+    return registry.names()
 
 
-EXPERIMENTS = tuple(
-    list(_experiment_registry()["scaled"]) + list(_experiment_registry()["fixed"])
-)
+EXPERIMENTS = tuple(_experiment_names())
+
+
+def _sweep_overrides(experiment, scale: str, seed: Optional[int] = None) -> dict:
+    """Grid overrides for one experiment under a --scale profile.
+
+    Scale keys an experiment's grid does not understand are dropped
+    silently (that is what makes one profile applicable to heterogeneous
+    grids), but an explicit ``--seed`` must never be ignored.
+    """
+    overrides = dict(SCALE_PROFILES[scale]) if experiment.scaled else {}
+    if seed is not None:
+        if "seed" not in experiment.grid_kwargs({"seed": seed}):
+            raise SystemExit(
+                f"experiment {experiment.name!r} does not accept --seed"
+            )
+        overrides["seed"] = seed
+    return overrides
 
 
 def _run_experiment(name: str, scale: str) -> int:
-    registry = _experiment_registry()
-    if name in registry["scaled"]:
-        kwargs = (
-            {"nodes": 100, "total_time": 36000.0}
-            if scale == "full"
-            else {"nodes": 10, "total_time": 7200.0}
-        )
-        exp = registry["scaled"][name](**kwargs)
-    elif name in registry["fixed"]:
-        exp = registry["fixed"][name]()
-    else:
+    """Legacy ``--experiment`` path: one serial, uncached run."""
+    from repro.experiments import registry
+    from repro.experiments.runner import run_experiment
+
+    try:
+        experiment = registry.get(name)
+    except KeyError:
         raise SystemExit(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
-        )
-    print(exp.render())
+        ) from None
+    report = run_experiment(experiment, overrides=_sweep_overrides(experiment, scale))
+    print(report.result.render())
+    return 0
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description=(
+            "Run a registered paper experiment as a parallel, cached sweep."
+        ),
+    )
+    parser.add_argument(
+        "name",
+        nargs="?",
+        help="experiment to sweep (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered experiments and exit"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for cache-missing grid points (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every grid point, bypassing the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/hc3i-repro)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALE_PROFILES),
+        default="small",
+        help="grid scale: 'full' = the paper's 100 nodes / 10 h",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the grid seed")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the reduced result as JSON instead of tables",
+    )
+    return parser
+
+
+def _sweep_main(argv: Sequence[str]) -> int:
+    from repro.experiments import registry
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.runner import run_experiment
+
+    args = build_sweep_parser().parse_args(argv)
+    if args.list:
+        rows = [
+            (exp.name, "yes" if exp.scaled else "no", exp.title)
+            for exp in registry.all_experiments()
+        ]
+        print(format_table(["name", "scaled", "title"], rows,
+                           title="-- registered experiments --"))
+        return 0
+    if not args.name:
+        raise SystemExit("repro sweep: an experiment name (or --list) is required")
+    try:
+        experiment = registry.get(args.name)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(root=args.cache_dir)
+    report = run_experiment(
+        experiment,
+        overrides=_sweep_overrides(experiment, args.scale, args.seed),
+        jobs=args.jobs,
+        cache=cache,
+    )
+    result = report.result
+    if args.json:
+        payload = {
+            "experiment": report.name,
+            "scale": args.scale,
+            "points": report.points,
+            "cache_hits": report.cache_hits,
+            "executed": report.executed,
+            "name": result.name,
+            "headers": list(result.headers),
+            "rows": [list(row) for row in result.rows],
+            "x_label": result.x_label,
+            "xs": list(result.xs),
+            "series": {k: list(v) for k, v in result.series.items()},
+            "notes": list(result.notes),
+        }
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        print(result.render())
+        print(f"[sweep] {report.summary()}")
     return 0
 
 
@@ -146,6 +235,9 @@ def _load(args: argparse.Namespace) -> ScenarioConfig:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment:
         return _run_experiment(args.experiment, args.scale)
@@ -208,5 +300,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def console_main() -> int:  # pragma: no cover
+    """Entry point for the installed scripts; tames ``repro ... | head``."""
+    try:
+        return main()
+    except BrokenPipeError:
+        import os
+
+        # reopen stdout on devnull so interpreter teardown doesn't warn
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    raise SystemExit(console_main())

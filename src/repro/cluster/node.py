@@ -16,7 +16,6 @@ from repro.network.message import Message, MessageKind, NodeId
 from repro.sim.kernel import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.cluster.federation import Federation
     from repro.core.protocol import NodeAgent
     from repro.network.fabric import Fabric
     from repro.sim.process import Process

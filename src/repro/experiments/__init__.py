@@ -1,18 +1,30 @@
 """Paper experiments: one module per table/figure of §5.
 
-Every experiment function is pure configuration + execution: it builds the
-calibrated workload, runs the federation, and returns an
-:class:`~repro.experiments.common.ExperimentResult` whose ``render()``
-prints the same rows/series the paper reports, with the paper's reference
-values alongside.  The benchmark harness under ``benchmarks/`` wraps these
-one-to-one.
+Every experiment is declared as three pure pieces -- a parameter ``grid``,
+a picklable per-point function, and a ``reduce`` step that assembles the
+paper's table/series -- registered in
+:mod:`repro.experiments.registry`.  The sweep engine
+(:mod:`repro.experiments.runner`) fans grid points out over a process
+pool and memoizes them in a content-addressed cache
+(:mod:`repro.experiments.cache`); ``repro sweep <name>`` is the CLI entry
+point.
 
-All experiments accept ``nodes`` and ``total_time`` so tests can exercise
-them at reduced scale; defaults reproduce the paper (100 nodes per cluster,
-10-hour application).
+The historical one-call-per-experiment functions below remain the
+library API; they run the same grid/point/reduce pipeline serially, so
+both paths produce identical results.
+
+All scaled experiments accept ``nodes`` and ``total_time`` so tests can
+exercise them at reduced scale; defaults reproduce the paper (100 nodes
+per cluster, 10-hour application).
 """
 
 from repro.experiments.common import ExperimentResult, run_federation
+from repro.experiments.registry import (
+    Experiment,
+    all_experiments,
+    derive_seed,
+    load_all,
+)
 from repro.experiments.table1 import table1_message_counts
 from repro.experiments.fig6_fig7 import clc_delay_sweep
 from repro.experiments.fig8 import cluster1_timer_sweep
@@ -37,17 +49,21 @@ from repro.experiments.ablations import (
 )
 
 __all__ = [
+    "Experiment",
     "ExperimentResult",
+    "all_experiments",
     "baseline_comparison",
     "clc_delay_sweep",
     "cluster1_timer_sweep",
     "communication_pattern_sweep",
+    "derive_seed",
     "figure5_scenario",
     "gc_period_sweep",
     "federation_scaling",
     "gc_three_clusters",
     "gc_two_clusters",
     "incremental_checkpoint_ablation",
+    "load_all",
     "message_logging_ablation",
     "mtbf_sweep",
     "multi_seed_robustness",

@@ -15,6 +15,9 @@ These benches answer the questions the paper raises but does not quantify:
   of garbage collection and the number of CLCs stored."
 * **replication degree** (§7): storage/traffic cost of tolerating k
   simultaneous intra-cluster faults.
+
+Each ablation's variants are independent grid points, so the sweep engine
+runs them concurrently.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from repro.app.workloads import (
 from repro.cluster.federation import Federation
 from repro.config.timers import HOUR, MINUTE
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import Experiment, register
 from repro.network.message import NodeId
 
 __all__ = [
@@ -73,37 +77,62 @@ def _run_with_failures(
     return fed, results
 
 
-def transitive_ddv_ablation(
+# --------------------------------------------------------------------------
+# transitive DDV ablation
+
+
+def _transitive_grid(
     nodes_per_stage: int = 20,
     n_stages: int = 4,
     total_time: float = 2 * HOUR,
     seed: int = 42,
-) -> ExperimentResult:
-    """Forced-CLC counts: SN piggyback vs whole-DDV vs force-always."""
-    rows = []
-    for protocol in ("hc3i", "hc3i-transitive", "cic-always"):
-        topology, application, timers = pipeline_workload(
-            nodes_per_stage=nodes_per_stage,
-            n_stages=n_stages,
-            total_time=total_time,
-            skip_probability=0.02,
-        )
-        fed = Federation(topology, application, timers, protocol=protocol, seed=seed)
-        results = fed.run()
-        forced = sum(results.clc_counts(c)["forced"] for c in range(n_stages))
-        total = sum(results.clc_counts(c)["total"] for c in range(n_stages))
-        inter = sum(
+) -> list:
+    return [
+        {
+            "protocol": protocol,
+            "nodes_per_stage": nodes_per_stage,
+            "n_stages": n_stages,
+            "total_time": total_time,
+            "seed": seed,
+        }
+        for protocol in ("hc3i", "hc3i-transitive", "cic-always")
+    ]
+
+
+def _transitive_point(params: dict) -> dict:
+    n_stages = params["n_stages"]
+    topology, application, timers = pipeline_workload(
+        nodes_per_stage=params["nodes_per_stage"],
+        n_stages=n_stages,
+        total_time=params["total_time"],
+        skip_probability=0.02,
+    )
+    fed = Federation(
+        topology, application, timers, protocol=params["protocol"], seed=params["seed"]
+    )
+    results = fed.run()
+    return {
+        "forced": sum(results.clc_counts(c)["forced"] for c in range(n_stages)),
+        "total": sum(results.clc_counts(c)["total"] for c in range(n_stages)),
+        "inter": sum(
             results.app_messages(i, j)
             for i in range(n_stages)
             for j in range(n_stages)
             if i != j
-        )
-        rows.append((protocol, forced, total, inter))
+        ),
+    }
+
+
+def _transitive_reduce(grid: list, points: list) -> ExperimentResult:
+    rows = [
+        (params["protocol"], point["forced"], point["total"], point["inter"])
+        for params, point in zip(grid, points)
+    ]
     return ExperimentResult(
         name="Ablation -- dependency tracking (SN vs transitive DDV vs always-force)",
         description=(
-            f"{n_stages}-stage pipeline (Figure 1 model); forced CLCs summed "
-            "over all clusters."
+            f"{grid[0]['n_stages']}-stage pipeline (Figure 1 model); forced "
+            "CLCs summed over all clusters."
         ),
         headers=["protocol", "forced CLCs", "total CLCs", "inter-cluster msgs"],
         rows=rows,
@@ -114,44 +143,106 @@ def transitive_ddv_ablation(
     )
 
 
-def message_logging_ablation(
+TRANSITIVE = register(
+    Experiment(
+        name="ablation-transitive",
+        title="Ablation -- SN vs transitive DDV vs always-force (§7)",
+        artifact="§7",
+        grid=_transitive_grid,
+        point=_transitive_point,
+        reduce=_transitive_reduce,
+        scaled=False,
+    )
+)
+
+
+def transitive_ddv_ablation(
+    nodes_per_stage: int = 20,
+    n_stages: int = 4,
+    total_time: float = 2 * HOUR,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Forced-CLC counts: SN piggyback vs whole-DDV vs force-always."""
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        TRANSITIVE,
+        nodes_per_stage=nodes_per_stage,
+        n_stages=n_stages,
+        total_time=total_time,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------
+# sender-side message logging ablation
+
+
+def _logging_grid(
     nodes: int = 20,
     total_time: float = 4 * HOUR,
     seed: int = 42,
     failure_times: Optional[Sequence[float]] = None,
-) -> ExperimentResult:
-    """Clusters rolled back per failure: with vs without sender-side logs."""
-    failure_times = list(failure_times or [total_time * 0.45, total_time * 0.8])
-    rows = []
-    for label, replay in (("with logging (paper)", True), ("without logging", False)):
-        topology, application, timers = table1_workload(
-            nodes=nodes,
-            total_time=total_time,
-            clc_period_0=20 * MINUTE,
-            clc_period_1=20 * MINUTE,
-            messages_1_to_0=103,
+) -> list:
+    failure_times = list(
+        failure_times or [total_time * 0.45, total_time * 0.8]
+    )
+    return [
+        {
+            "label": label,
+            "replay": replay,
+            "nodes": nodes,
+            "total_time": total_time,
+            "seed": seed,
+            "failure_times": failure_times,
+        }
+        for label, replay in (
+            ("with logging (paper)", True),
+            ("without logging", False),
         )
-        fed, results = _run_with_failures(
-            topology,
-            application,
-            timers,
-            protocol="hc3i",
-            seed=seed,
-            failure_times=failure_times,
-            victims=[NodeId(0, 1), NodeId(1, 1)],
-            protocol_options={"replay_enabled": replay},
+    ]
+
+
+def _logging_point(params: dict) -> dict:
+    topology, application, timers = table1_workload(
+        nodes=params["nodes"],
+        total_time=params["total_time"],
+        clc_period_0=20 * MINUTE,
+        clc_period_1=20 * MINUTE,
+        messages_1_to_0=103,
+    )
+    fed, _results = _run_with_failures(
+        topology,
+        application,
+        timers,
+        protocol="hc3i",
+        seed=params["seed"],
+        failure_times=params["failure_times"],
+        victims=[NodeId(0, 1), NodeId(1, 1)],
+        protocol_options={"replay_enabled": params["replay"]},
+    )
+    costs = rollback_costs(fed)
+    return {
+        "failures": costs.failures,
+        "rollbacks": costs.rollbacks,
+        "mean_clusters": costs.mean_clusters_per_failure,
+        "replays": costs.replays,
+        "lost_work": costs.lost_work_node_seconds,
+    }
+
+
+def _logging_reduce(grid: list, points: list) -> ExperimentResult:
+    rows = [
+        (
+            params["label"],
+            point["failures"],
+            point["rollbacks"],
+            round(point["mean_clusters"], 2),
+            point["replays"],
+            round(point["lost_work"], 1),
         )
-        costs = rollback_costs(fed)
-        rows.append(
-            (
-                label,
-                costs.failures,
-                costs.rollbacks,
-                round(costs.mean_clusters_per_failure, 2),
-                costs.replays,
-                round(costs.lost_work_node_seconds, 1),
-            )
-        )
+        for params, point in zip(grid, points)
+    ]
     return ExperimentResult(
         name="Ablation -- sender-side message logging (§3.3)",
         description=(
@@ -172,52 +263,116 @@ def message_logging_ablation(
     )
 
 
-def baseline_comparison(
+LOGGING = register(
+    Experiment(
+        name="ablation-logging",
+        title="Ablation -- sender-side message logging (§3.3)",
+        artifact="§3.3",
+        grid=_logging_grid,
+        point=_logging_point,
+        reduce=_logging_reduce,
+        scaled=False,
+    )
+)
+
+
+def message_logging_ablation(
     nodes: int = 20,
     total_time: float = 4 * HOUR,
     seed: int = 42,
     failure_times: Optional[Sequence[float]] = None,
 ) -> ExperimentResult:
-    """HC3I vs the three §2.2/§6 protocol families, identical conditions."""
-    failure_times = list(failure_times or [total_time * 0.45, total_time * 0.8])
-    rows = []
-    for protocol in ("hc3i", "global-coordinated", "independent", "pessimistic-log"):
-        topology, application, timers = table1_workload(
-            nodes=nodes,
-            total_time=total_time,
-            clc_period_0=20 * MINUTE,
-            clc_period_1=20 * MINUTE,
-            messages_1_to_0=103,
+    """Clusters rolled back per failure: with vs without sender-side logs."""
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        LOGGING,
+        nodes=nodes,
+        total_time=total_time,
+        seed=seed,
+        failure_times=list(failure_times) if failure_times is not None else None,
+    )
+
+
+# --------------------------------------------------------------------------
+# protocol family baseline comparison
+
+
+def _baseline_grid(
+    nodes: int = 20,
+    total_time: float = 4 * HOUR,
+    seed: int = 42,
+    failure_times: Optional[Sequence[float]] = None,
+) -> list:
+    failure_times = list(
+        failure_times or [total_time * 0.45, total_time * 0.8]
+    )
+    return [
+        {
+            "protocol": protocol,
+            "nodes": nodes,
+            "total_time": total_time,
+            "seed": seed,
+            "failure_times": failure_times,
+        }
+        for protocol in (
+            "hc3i",
+            "global-coordinated",
+            "independent",
+            "pessimistic-log",
         )
-        fed, results = _run_with_failures(
-            topology,
-            application,
-            timers,
-            protocol=protocol,
-            seed=seed,
-            failure_times=failure_times,
-            victims=[NodeId(0, 1), NodeId(1, 1)],
+    ]
+
+
+def _baseline_point(params: dict) -> dict:
+    topology, application, timers = table1_workload(
+        nodes=params["nodes"],
+        total_time=params["total_time"],
+        clc_period_0=20 * MINUTE,
+        clc_period_1=20 * MINUTE,
+        messages_1_to_0=103,
+    )
+    fed, results = _run_with_failures(
+        topology,
+        application,
+        timers,
+        protocol=params["protocol"],
+        seed=params["seed"],
+        failure_times=params["failure_times"],
+        victims=[NodeId(0, 1), NodeId(1, 1)],
+    )
+    costs = rollback_costs(fed)
+    checkpoints = sum(
+        results.clc_counts(c)["total"] for c in range(topology.n_clusters)
+    )
+    log_bytes = results.counter("pessimistic/log_bytes")
+    for c in range(topology.n_clusters):
+        log_bytes += results.clusters[c].get("log_bytes", 0) or 0
+    freeze = results.stats.get("global/freeze_time")
+    freeze_mean = freeze["mean"] if isinstance(freeze, dict) else 0.0
+    return {
+        "checkpoints": checkpoints,
+        "failures": costs.failures,
+        "mean_clusters": costs.mean_clusters_per_failure,
+        "lost_work": costs.lost_work_node_seconds,
+        "log_bytes": log_bytes,
+        "freeze_mean": freeze_mean,
+    }
+
+
+def _baseline_reduce(grid: list, points: list) -> ExperimentResult:
+    rows = [
+        (
+            params["protocol"],
+            point["checkpoints"],
+            point["failures"],
+            round(point["mean_clusters"], 2),
+            round(point["lost_work"], 1),
+            point["log_bytes"],
+            round(point["freeze_mean"] * 1e3, 3),
         )
-        costs = rollback_costs(fed)
-        checkpoints = sum(
-            results.clc_counts(c)["total"] for c in range(topology.n_clusters)
-        )
-        log_bytes = results.counter("pessimistic/log_bytes")
-        for c in range(topology.n_clusters):
-            log_bytes += results.clusters[c].get("log_bytes", 0) or 0
-        freeze = results.stats.get("global/freeze_time")
-        freeze_mean = freeze["mean"] if isinstance(freeze, dict) else 0.0
-        rows.append(
-            (
-                protocol,
-                checkpoints,
-                costs.failures,
-                round(costs.mean_clusters_per_failure, 2),
-                round(costs.lost_work_node_seconds, 1),
-                log_bytes,
-                round(freeze_mean * 1e3, 3),
-            )
-        )
+        for params, point in zip(grid, points)
+    ]
     return ExperimentResult(
         name="Baseline comparison -- HC3I vs §2.2/§6 protocol families",
         description=(
@@ -242,41 +397,99 @@ def baseline_comparison(
     )
 
 
-def gc_period_sweep(
+BASELINES = register(
+    Experiment(
+        name="baselines",
+        title="Baseline comparison -- HC3I vs §2.2/§6 protocol families",
+        artifact="§2.2/§6",
+        grid=_baseline_grid,
+        point=_baseline_point,
+        reduce=_baseline_reduce,
+        scaled=False,
+    )
+)
+
+
+def baseline_comparison(
+    nodes: int = 20,
+    total_time: float = 4 * HOUR,
+    seed: int = 42,
+    failure_times: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    """HC3I vs the three §2.2/§6 protocol families, identical conditions."""
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        BASELINES,
+        nodes=nodes,
+        total_time=total_time,
+        seed=seed,
+        failure_times=list(failure_times) if failure_times is not None else None,
+    )
+
+
+# --------------------------------------------------------------------------
+# GC period sweep
+
+
+def _gc_period_grid(
     periods_h: Optional[Sequence[Optional[float]]] = None,
     nodes: int = 50,
     total_time: float = TOTAL_TIME,
     seed: int = 42,
-) -> ExperimentResult:
-    """Stored-CLC memory vs garbage-collection frequency (§5.4 tradeoff)."""
-    periods = list(periods_h) if periods_h is not None else [0.5, 1, 2, 4, None]
+) -> list:
+    periods = list(periods_h) if periods_h else [0.5, 1, 2, 4, None]
+    return [
+        {
+            "period_h": period,
+            "nodes": nodes,
+            "total_time": total_time,
+            "seed": seed,
+        }
+        for period in periods
+    ]
+
+
+def _gc_period_point(params: dict) -> dict:
+    period = params["period_h"]
+    topology, application, timers = table2_workload(
+        nodes=params["nodes"],
+        total_time=params["total_time"],
+        gc_period=None if period is None else period * HOUR,
+    )
+    fed = Federation(topology, application, timers, seed=params["seed"])
+    results = fed.run()
+    max_stored = 0
+    for c in range(2):
+        gauge = results.stats.get(f"clc/c{c}/stored")
+        if isinstance(gauge, dict):
+            max_stored = max(max_stored, int(gauge["max"]))
+    gc_msgs = sum(
+        results.counter(f"net/protocol/{k}")
+        for k in ("gc_request", "gc_response", "gc_collect", "gc_local")
+    )
+    return {
+        "max_stored": max_stored,
+        "final_c0": results.stored_clcs(0),
+        "final_c1": results.stored_clcs(1),
+        "removed": results.counter("gc/clcs_removed"),
+        "gc_msgs": gc_msgs,
+    }
+
+
+def _gc_period_reduce(grid: list, points: list) -> ExperimentResult:
     rows = []
-    for period in periods:
-        topology, application, timers = table2_workload(
-            nodes=nodes,
-            total_time=total_time,
-            gc_period=None if period is None else period * HOUR,
-        )
-        fed = Federation(topology, application, timers, seed=seed)
-        results = fed.run()
-        max_stored = 0
-        for c in range(2):
-            gauge = results.stats.get(f"clc/c{c}/stored")
-            if isinstance(gauge, dict):
-                max_stored = max(max_stored, int(gauge["max"]))
-        gc_msgs = sum(
-            results.counter(f"net/protocol/{k}")
-            for k in ("gc_request", "gc_response", "gc_collect", "gc_local")
-        )
+    for params, point in zip(grid, points):
+        period = params["period_h"]
         label = "off" if period is None else f"{period:g}h"
         rows.append(
             (
                 label,
-                max_stored,
-                results.stored_clcs(0),
-                results.stored_clcs(1),
-                results.counter("gc/clcs_removed"),
-                gc_msgs,
+                point["max_stored"],
+                point["final_c0"],
+                point["final_c1"],
+                point["removed"],
+                point["gc_msgs"],
             )
         )
     return ExperimentResult(
@@ -297,51 +510,110 @@ def gc_period_sweep(
     )
 
 
-def incremental_checkpoint_ablation(
+GC_PERIOD = register(
+    Experiment(
+        name="ablation-gc-period",
+        title="Ablation -- garbage collection period tradeoff (§5.4)",
+        artifact="§5.4",
+        grid=_gc_period_grid,
+        point=_gc_period_point,
+        reduce=_gc_period_reduce,
+        scaled=False,
+    )
+)
+
+
+def gc_period_sweep(
+    periods_h: Optional[Sequence[Optional[float]]] = None,
+    nodes: int = 50,
+    total_time: float = TOTAL_TIME,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Stored-CLC memory vs garbage-collection frequency (§5.4 tradeoff)."""
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        GC_PERIOD,
+        periods_h=list(periods_h) if periods_h is not None else None,
+        nodes=nodes,
+        total_time=total_time,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------
+# incremental checkpointing ablation
+
+
+def _incremental_grid(
     nodes: int = 20,
     total_time: float = 4 * HOUR,
     seed: int = 42,
     fraction: float = 0.2,
-) -> ExperimentResult:
-    """Full vs incremental stable-storage replication traffic.
+) -> list:
+    return [
+        {
+            "label": "full replicas (paper)",
+            "incremental": False,
+            "fraction": fraction,
+            "nodes": nodes,
+            "total_time": total_time,
+            "seed": seed,
+        },
+        {
+            "label": f"incremental (delta={fraction:g})",
+            "incremental": True,
+            "fraction": fraction,
+            "nodes": nodes,
+            "total_time": total_time,
+            "seed": seed,
+        },
+    ]
 
-    The incremental variant ships a full state once and deltas afterwards;
-    a rollback restarts the chain.  Measures the replica byte volume each
-    policy moves over the SAN for identical CLC schedules.
-    """
-    rows = []
-    for label, options in (
-        ("full replicas (paper)", {}),
-        (
-            f"incremental (delta={fraction:g})",
-            {"incremental": True, "incremental_fraction": fraction},
-        ),
-    ):
-        topology, application, timers = table1_workload(
-            nodes=nodes,
-            total_time=total_time,
-            clc_period_0=20 * MINUTE,
-            clc_period_1=20 * MINUTE,
-            messages_1_to_0=103,
-        )
-        fed, results = _run_with_failures(
-            topology,
-            application,
-            timers,
-            protocol="hc3i",
-            seed=seed,
-            failure_times=[total_time * 0.6],
-            victims=[NodeId(0, 1)],
-            protocol_options=options,
-        )
-        replica_msgs = results.counter("net/protocol/replica")
-        clcs = sum(results.clc_counts(c)["total"] for c in range(2))
+
+def _incremental_point(params: dict) -> dict:
+    options = (
+        {"incremental": True, "incremental_fraction": params["fraction"]}
+        if params["incremental"]
+        else {}
+    )
+    total_time = params["total_time"]
+    topology, application, timers = table1_workload(
+        nodes=params["nodes"],
+        total_time=total_time,
+        clc_period_0=20 * MINUTE,
+        clc_period_1=20 * MINUTE,
+        messages_1_to_0=103,
+    )
+    _fed, results = _run_with_failures(
+        topology,
+        application,
+        timers,
+        protocol="hc3i",
+        seed=params["seed"],
+        failure_times=[total_time * 0.6],
+        victims=[NodeId(0, 1)],
+        protocol_options=options,
+    )
+    return {
+        "clcs": sum(results.clc_counts(c)["total"] for c in range(2)),
+        "replica_msgs": results.counter("net/protocol/replica"),
         # replica bytes = protocol bytes attributable to REPLICA messages;
-        # recompute from the stats snapshot by subtracting nothing -- the
-        # fabric only aggregates, so track via message count x sizes is
-        # impossible post-hoc; read the dedicated counter instead.
-        replica_bytes = results.counter("net/bytes/protocol")
-        rows.append((label, clcs, replica_msgs, replica_bytes))
+        # the fabric only aggregates, so read the dedicated counter.
+        "replica_bytes": results.counter("net/bytes/protocol"),
+    }
+
+
+def _incremental_reduce(grid: list, points: list) -> ExperimentResult:
+    rows = [
+        (
+            params["label"],
+            point["clcs"],
+            point["replica_msgs"],
+            point["replica_bytes"],
+        )
+        for params, point in zip(grid, points)
+    ]
     return ExperimentResult(
         name="Ablation -- incremental stable storage",
         description=(
@@ -357,41 +629,98 @@ def incremental_checkpoint_ablation(
     )
 
 
-def replication_degree_sweep(
+INCREMENTAL = register(
+    Experiment(
+        name="ablation-incremental",
+        title="Ablation -- incremental stable-storage replication",
+        artifact="§7 extension",
+        grid=_incremental_grid,
+        point=_incremental_point,
+        reduce=_incremental_reduce,
+        scaled=False,
+    )
+)
+
+
+def incremental_checkpoint_ablation(
+    nodes: int = 20,
+    total_time: float = 4 * HOUR,
+    seed: int = 42,
+    fraction: float = 0.2,
+) -> ExperimentResult:
+    """Full vs incremental stable-storage replication traffic.
+
+    The incremental variant ships a full state once and deltas afterwards;
+    a rollback restarts the chain.  Measures the replica byte volume each
+    policy moves over the SAN for identical CLC schedules.
+    """
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        INCREMENTAL,
+        nodes=nodes,
+        total_time=total_time,
+        seed=seed,
+        fraction=fraction,
+    )
+
+
+# --------------------------------------------------------------------------
+# replication degree sweep
+
+
+def _replication_grid(
     degrees: Sequence[int] = (0, 1, 2, 3),
     nodes: int = 20,
     total_time: float = 2 * HOUR,
     seed: int = 42,
-) -> ExperimentResult:
-    """Stable-storage cost vs faults tolerated (§7 extension)."""
-    rows = []
-    for degree in degrees:
-        topology, application, timers = table1_workload(
-            nodes=nodes,
-            total_time=total_time,
-            clc_period_0=20 * MINUTE,
-            clc_period_1=20 * MINUTE,
+) -> list:
+    return [
+        {
+            "degree": degree,
+            "nodes": nodes,
+            "total_time": total_time,
+            "seed": seed,
+        }
+        for degree in degrees
+    ]
+
+
+def _replication_point(params: dict) -> dict:
+    topology, application, timers = table1_workload(
+        nodes=params["nodes"],
+        total_time=params["total_time"],
+        clc_period_0=20 * MINUTE,
+        clc_period_1=20 * MINUTE,
+    )
+    fed = Federation(
+        topology,
+        application,
+        timers,
+        seed=params["seed"],
+        protocol_options={"replication_degree": params["degree"]},
+    )
+    results = fed.run()
+    stored0 = results.stored_clcs(0)
+    return {
+        "tolerated": fed.storage[0].max_tolerated_faults(),
+        "stored0": stored0,
+        "states": fed.storage[0].states_held_by(0, stored0),
+        "replica_msgs": results.counter("net/protocol/replica"),
+    }
+
+
+def _replication_reduce(grid: list, points: list) -> ExperimentResult:
+    rows = [
+        (
+            params["degree"],
+            point["tolerated"],
+            point["stored0"],
+            point["states"],
+            point["replica_msgs"],
         )
-        fed = Federation(
-            topology,
-            application,
-            timers,
-            seed=seed,
-            protocol_options={"replication_degree": degree},
-        )
-        results = fed.run()
-        stored0 = results.stored_clcs(0)
-        states = fed.storage[0].states_held_by(0, stored0)
-        replica_msgs = results.counter("net/protocol/replica")
-        rows.append(
-            (
-                degree,
-                fed.storage[0].max_tolerated_faults(),
-                stored0,
-                states,
-                replica_msgs,
-            )
-        )
+        for params, point in zip(grid, points)
+    ]
     return ExperimentResult(
         name="Ablation -- stable-storage replication degree (§7)",
         description=(
@@ -409,4 +738,35 @@ def replication_degree_sweep(
         paper={
             "extension": "§7: user-chosen degree of replication in stable storage"
         },
+    )
+
+
+REPLICATION = register(
+    Experiment(
+        name="ablation-replication",
+        title="Ablation -- stable-storage replication degree (§7)",
+        artifact="§7",
+        grid=_replication_grid,
+        point=_replication_point,
+        reduce=_replication_reduce,
+        scaled=False,
+    )
+)
+
+
+def replication_degree_sweep(
+    degrees: Sequence[int] = (0, 1, 2, 3),
+    nodes: int = 20,
+    total_time: float = 2 * HOUR,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Stable-storage cost vs faults tolerated (§7 extension)."""
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        REPLICATION,
+        degrees=list(degrees),
+        nodes=nodes,
+        total_time=total_time,
+        seed=seed,
     )

@@ -1,0 +1,135 @@
+"""Content-addressed on-disk cache for experiment grid points.
+
+A cached entry is keyed by the SHA-256 of ``(experiment name, canonical
+JSON of the point's params, code-version hash)``.  The code-version hash
+digests every ``.py`` file in the ``repro`` package, so editing any
+simulator or experiment source invalidates all cached results -- stale
+results can never be served after a code change (cf. *stdchk*'s
+checkpoint store, which dedupes by content address for the same reason).
+
+Values are pickled per point: point summaries are plain dicts of
+scalars/lists by contract (:mod:`repro.experiments.registry`), so entries
+stay small and portable.  Writes are atomic (temp file + rename) so a
+killed sweep never leaves a truncated entry behind.
+
+Cache location: ``--cache-dir`` / constructor argument, else the
+``REPRO_CACHE_DIR`` environment variable, else
+``~/.cache/hc3i-repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["ResultCache", "code_version_hash", "default_cache_dir"]
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+_code_hash_cache: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "hc3i-repro"
+
+
+def code_version_hash() -> str:
+    """SHA-256 over every ``.py`` source file of the ``repro`` package."""
+    global _code_hash_cache
+    if _code_hash_cache is not None:
+        return _code_hash_cache
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+    _code_hash_cache = digest.hexdigest()
+    return _code_hash_cache
+
+
+class ResultCache:
+    """Pickle store addressed by (experiment, params, code version)."""
+
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        code_hash: Optional[str] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.code_hash = code_hash if code_hash is not None else code_version_hash()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, experiment: str, params: dict) -> str:
+        """Stable content address of one grid point under the current code."""
+        material = json.dumps(
+            {"code": self.code_hash, "experiment": experiment, "params": params},
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, experiment: str, params: dict):
+        """Return the cached value or ``None``; counts hit/miss."""
+        if not self.enabled:
+            return None
+        path = self.path(self.key(experiment, params))
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            # a truncated/corrupted entry can raise nearly anything from
+            # the pickle VM (UnpicklingError, ValueError, EOFError, ...);
+            # any load failure is simply a cache miss
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, experiment: str, params: dict, value) -> None:
+        if not self.enabled:
+            return
+        path = self.path(self.key(experiment, params))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of files removed."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.pkl"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def entry_count(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.pkl"))

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.analysis.reporting import format_series, format_table
-from repro.cluster.federation import Federation, FederationResults
+from repro.cluster.federation import Federation
 from repro.sim.trace import TraceLevel
 
 __all__ = ["ExperimentResult", "run_federation"]
@@ -46,6 +46,9 @@ class ExperimentResult:
     ``xs``/``series`` instead (or additionally).  ``paper`` records the
     reference values/claims from the publication so EXPERIMENTS.md and the
     bench output can show paper-vs-measured side by side.
+
+    Everything here is plain data (scalars, strings, lists) so results
+    pickle cleanly through the sweep cache and across worker processes.
     """
 
     name: str
@@ -57,7 +60,6 @@ class ExperimentResult:
     series: dict = field(default_factory=dict)
     paper: dict = field(default_factory=dict)
     notes: list = field(default_factory=list)
-    runs: list = field(default_factory=list)  # FederationResults, if kept
 
     def render(self) -> str:
         parts = [f"== {self.name} ==", self.description]

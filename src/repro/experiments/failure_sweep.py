@@ -26,54 +26,79 @@ from repro.app.workloads import table1_workload
 from repro.cluster.federation import Federation
 from repro.config.timers import HOUR, MINUTE
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import Experiment, register
 from repro.sim.trace import TraceLevel
 
 __all__ = ["mtbf_sweep"]
 
+DEFAULT_MTBFS = [4 * HOUR, 2 * HOUR, HOUR, HOUR / 2]
+DEFAULT_PROTOCOLS = ("hc3i", "global-coordinated", "pessimistic-log")
 
-def mtbf_sweep(
+
+def _grid(
     mtbfs: Optional[Sequence[float]] = None,
-    protocols: Sequence[str] = ("hc3i", "global-coordinated", "pessimistic-log"),
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     nodes: int = 10,
     total_time: float = 8 * HOUR,
     clc_period: float = 20 * MINUTE,
     seed: int = 42,
-) -> ExperimentResult:
-    mtbfs = list(mtbfs if mtbfs is not None else [4 * HOUR, 2 * HOUR, HOUR, HOUR / 2])
+) -> list:
+    mtbfs = list(mtbfs or DEFAULT_MTBFS)
+    return [
+        {
+            "protocol": protocol,
+            "mtbf": mtbf,
+            "nodes": nodes,
+            "total_time": total_time,
+            "clc_period": clc_period,
+            "seed": seed,
+        }
+        for protocol in protocols
+        for mtbf in mtbfs
+    ]
+
+
+def _point(params: dict) -> dict:
+    topology, application, timers = table1_workload(
+        nodes=params["nodes"],
+        total_time=params["total_time"],
+        clc_period_0=params["clc_period"],
+        clc_period_1=params["clc_period"],
+        messages_1_to_0=103,
+    )
+    topology.mtbf = params["mtbf"]
+    fed = Federation(
+        topology,
+        application,
+        timers,
+        protocol=params["protocol"],
+        seed=params["seed"],
+        trace_level=TraceLevel.PROTOCOL,
+    )
+    results = fed.run()
+    lost = results.stats.get("rollback/lost_work", {})
+    return {
+        "failures": results.counter("failures/injected"),
+        "lost_total": lost["total"] if isinstance(lost, dict) else 0.0,
+        "node_seconds": topology.total_nodes * params["total_time"],
+    }
+
+
+def _reduce(grid: list, points: list) -> ExperimentResult:
     rows = []
-    for protocol in protocols:
-        for mtbf in mtbfs:
-            topology, application, timers = table1_workload(
-                nodes=nodes,
-                total_time=total_time,
-                clc_period_0=clc_period,
-                clc_period_1=clc_period,
-                messages_1_to_0=103,
+    for params, point in zip(grid, points):
+        goodput = 1.0 - point["lost_total"] / point["node_seconds"]
+        rows.append(
+            (
+                params["protocol"],
+                f"{params['mtbf'] / HOUR:g}h",
+                point["failures"],
+                round(point["lost_total"], 0),
+                round(goodput, 4),
             )
-            topology.mtbf = mtbf
-            fed = Federation(
-                topology,
-                application,
-                timers,
-                protocol=protocol,
-                seed=seed,
-                trace_level=TraceLevel.PROTOCOL,
-            )
-            results = fed.run()
-            failures = results.counter("failures/injected")
-            lost = results.stats.get("rollback/lost_work", {})
-            lost_total = lost["total"] if isinstance(lost, dict) else 0.0
-            node_seconds = topology.total_nodes * total_time
-            goodput = 1.0 - lost_total / node_seconds
-            rows.append(
-                (
-                    protocol,
-                    f"{mtbf / HOUR:g}h",
-                    failures,
-                    round(lost_total, 0),
-                    round(goodput, 4),
-                )
-            )
+        )
+    nodes = grid[0]["nodes"]
+    total_time = grid[0]["total_time"]
     return ExperimentResult(
         name="MTBF sweep -- surviving work under increasing failure rates",
         description=(
@@ -87,4 +112,38 @@ def mtbf_sweep(
             "expectation": "HC3I's bounded rollback scope keeps goodput "
             "above the whole-federation rollback of global coordination"
         },
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="mtbf",
+        title="MTBF sweep -- goodput vs failure rate, HC3I vs baselines",
+        artifact="§6 extension",
+        grid=_grid,
+        point=_point,
+        reduce=_reduce,
+        scaled=False,
+    )
+)
+
+
+def mtbf_sweep(
+    mtbfs: Optional[Sequence[float]] = None,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    nodes: int = 10,
+    total_time: float = 8 * HOUR,
+    clc_period: float = 20 * MINUTE,
+    seed: int = 42,
+) -> ExperimentResult:
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        EXPERIMENT,
+        mtbfs=list(mtbfs) if mtbfs is not None else None,
+        protocols=list(protocols),
+        nodes=nodes,
+        total_time=total_time,
+        clc_period=clc_period,
+        seed=seed,
     )

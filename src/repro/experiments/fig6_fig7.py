@@ -18,32 +18,96 @@ Paper shapes to reproduce:
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Sequence
 
 from repro.app.workloads import TOTAL_TIME, table1_workload
 from repro.config.timers import MINUTE
 from repro.experiments.common import ExperimentResult, run_federation
-from repro.experiments.parallel import parallel_map
+from repro.experiments.registry import Experiment, register
 
 __all__ = ["clc_delay_sweep", "DEFAULT_DELAYS_MIN"]
 
 DEFAULT_DELAYS_MIN = [5, 10, 15, 20, 30, 45, 60, 90, 120]
 
 
-def _sweep_point(args: tuple) -> dict:
+def _grid(
+    delays_min: Optional[Sequence[float]] = None,
+    nodes: int = 100,
+    total_time: float = TOTAL_TIME,
+    seed: int = 42,
+    protocol: str = "hc3i",
+) -> list:
+    return [
+        {
+            "delay_min": delay,
+            "nodes": nodes,
+            "total_time": total_time,
+            "seed": seed,
+            "protocol": protocol,
+        }
+        for delay in (delays_min or DEFAULT_DELAYS_MIN)
+    ]
+
+
+def _point(params: dict) -> dict:
     """One sweep point (module-level so it is picklable for processes)."""
-    delay, nodes, total_time, seed, protocol = args
     topology, application, timers = table1_workload(
-        nodes=nodes,
-        total_time=total_time,
-        clc_period_0=delay * MINUTE,
+        nodes=params["nodes"],
+        total_time=params["total_time"],
+        clc_period_0=params["delay_min"] * MINUTE,
         clc_period_1=None,
     )
     _fed, results = run_federation(
-        topology, application, timers, protocol=protocol, seed=seed
+        topology,
+        application,
+        timers,
+        protocol=params["protocol"],
+        seed=params["seed"],
     )
-    return {"c0": results.clc_counts(0), "c1": results.clc_counts(1),
-            "results": results}
+    return {"c0": results.clc_counts(0), "c1": results.clc_counts(1)}
+
+
+def _reduce(grid: list, points: list) -> ExperimentResult:
+    series: dict = {
+        "c0 unforced": [],
+        "c0 forced": [],
+        "c1 unforced": [],
+        "c1 forced": [],
+    }
+    for point in points:
+        series["c0 unforced"].append(point["c0"]["unforced"])
+        series["c0 forced"].append(point["c0"]["forced"])
+        series["c1 unforced"].append(point["c1"]["unforced"])
+        series["c1 forced"].append(point["c1"]["forced"])
+    return ExperimentResult(
+        name="Figures 6 & 7 -- Interval between CLCs influence",
+        description=(
+            "Committed CLC counts vs the delay between unforced CLCs in "
+            "cluster 0 (cluster 1 timer infinite)."
+        ),
+        x_label="delay (min)",
+        xs=[params["delay_min"] for params in grid],
+        series=series,
+        paper={
+            "fig6_forced_c0": "constant (~8, caused by the 11 msgs 1->0)",
+            "fig6_unforced_c0": "~ total_time/delay, decreasing",
+            "fig7_unforced_c1": 0,
+            "fig7_forced_c1": "proportional to cluster-0 CLC count",
+        },
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="fig6-fig7",
+        title="Figures 6 & 7 -- CLC interval sweep in cluster 0 (§5.2)",
+        artifact="Figures 6-7",
+        grid=_grid,
+        point=_point,
+        reduce=_reduce,
+    )
+)
 
 
 def clc_delay_sweep(
@@ -59,39 +123,14 @@ def clc_delay_sweep(
     ``parallel=True`` fans the (independent, deterministic) sweep points
     out over a process pool.
     """
-    delays = list(delays_min or DEFAULT_DELAYS_MIN)
-    points = parallel_map(
-        _sweep_point,
-        [(delay, nodes, total_time, seed, protocol) for delay in delays],
-        serial=not parallel,
-    )
-    series: dict = {
-        "c0 unforced": [],
-        "c0 forced": [],
-        "c1 unforced": [],
-        "c1 forced": [],
-    }
-    runs = []
-    for point in points:
-        series["c0 unforced"].append(point["c0"]["unforced"])
-        series["c0 forced"].append(point["c0"]["forced"])
-        series["c1 unforced"].append(point["c1"]["unforced"])
-        series["c1 forced"].append(point["c1"]["forced"])
-        runs.append(point["results"])
-    return ExperimentResult(
-        name="Figures 6 & 7 -- Interval between CLCs influence",
-        description=(
-            "Committed CLC counts vs the delay between unforced CLCs in "
-            "cluster 0 (cluster 1 timer infinite)."
-        ),
-        x_label="delay (min)",
-        xs=delays,
-        series=series,
-        paper={
-            "fig6_forced_c0": "constant (~8, caused by the 11 msgs 1->0)",
-            "fig6_unforced_c0": "~ total_time/delay, decreasing",
-            "fig7_unforced_c1": 0,
-            "fig7_forced_c1": "proportional to cluster-0 CLC count",
-        },
-        runs=runs,
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        EXPERIMENT,
+        jobs=(os.cpu_count() or 1) if parallel else 1,
+        delays_min=list(delays_min) if delays_min is not None else None,
+        nodes=nodes,
+        total_time=total_time,
+        seed=seed,
+        protocol=protocol,
     )

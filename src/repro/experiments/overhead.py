@@ -27,69 +27,93 @@ from typing import Optional, Sequence
 from repro.app.workloads import TOTAL_TIME, table1_workload
 from repro.config.timers import MINUTE
 from repro.experiments.common import ExperimentResult, run_federation
+from repro.experiments.registry import Experiment, register
 
 __all__ = ["protocol_overhead"]
 
 _CONTROL_KINDS = ("clc_request", "clc_ack", "clc_commit", "clc_initiate")
 
+DEFAULT_TIMERS_MIN = [None, 120, 60, 30, 10]
 
-def protocol_overhead(
+
+def _grid(
     timers_min: Optional[Sequence[Optional[float]]] = None,
     nodes: int = 100,
     total_time: float = TOTAL_TIME,
     seed: int = 42,
-) -> ExperimentResult:
-    """Cost decomposition across CLC timer settings (both clusters equal)."""
-    sweep = list(timers_min) if timers_min is not None else [None, 120, 60, 30, 10]
-    rows = []
-    runs = []
-    for timer in sweep:
-        period = None if timer is None else timer * MINUTE
-        topology, application, timers = table1_workload(
-            nodes=nodes,
-            total_time=total_time,
-            clc_period_0=period,
-            clc_period_1=period,
-            messages_1_to_0=103,
-        )
-        fed, results = run_federation(topology, application, timers, seed=seed)
+) -> list:
+    return [
+        {
+            "timer_min": timer,
+            "nodes": nodes,
+            "total_time": total_time,
+            "seed": seed,
+        }
+        for timer in (timers_min or DEFAULT_TIMERS_MIN)
+    ]
 
-        def kind_bytes(kind: str) -> int:
-            return results.counter(f"net/bytes/kind/{kind}")
 
-        app_bytes = results.counter("net/bytes/app")
-        inter_msgs = results.app_messages(0, 1) + results.app_messages(1, 0)
-        piggyback_bytes = inter_msgs * 12  # SN (8) + epoch (4)
-        control_bytes = sum(kind_bytes(k) for k in _CONTROL_KINDS)
-        replica_bytes = kind_bytes("replica")
-        ack_bytes = kind_bytes("inter_ack")
-        log_peak_bytes = sum(
+def _point(params: dict) -> dict:
+    timer = params["timer_min"]
+    period = None if timer is None else timer * MINUTE
+    topology, application, timers = table1_workload(
+        nodes=params["nodes"],
+        total_time=params["total_time"],
+        clc_period_0=period,
+        clc_period_1=period,
+        messages_1_to_0=103,
+    )
+    fed, results = run_federation(
+        topology, application, timers, seed=params["seed"]
+    )
+
+    def kind_bytes(kind: str) -> int:
+        return results.counter(f"net/bytes/kind/{kind}")
+
+    inter_msgs = results.app_messages(0, 1) + results.app_messages(1, 0)
+    return {
+        "app_bytes": results.counter("net/bytes/app"),
+        "piggyback_bytes": inter_msgs * 12,  # SN (8) + epoch (4)
+        "control_bytes": sum(kind_bytes(k) for k in _CONTROL_KINDS),
+        "replica_bytes": kind_bytes("replica"),
+        "ack_bytes": kind_bytes("inter_ack"),
+        "log_peak_bytes": sum(
             fed.protocol.cluster_states[c].sent_log.max_entries
             * application.clusters[c].message_size
             for c in range(2)
-        )
-        stored_bytes = sum(
+        ),
+        "stored_bytes": sum(
             fed.protocol.cluster_states[c].store.total_state_bytes()
             for c in range(2)
-        )
-        clcs = sum(results.clc_counts(c)["total"] for c in range(2))
+        ),
+        "clcs": sum(results.clc_counts(c)["total"] for c in range(2)),
+    }
+
+
+def _reduce(grid: list, points: list) -> ExperimentResult:
+    rows = []
+    for params, point in zip(grid, points):
+        timer = params["timer_min"]
         # Replica traffic dominates any byte ratio; report the *control*
         # overhead the paper reasons about separately from storage motion.
-        overhead_pct = 100.0 * (piggyback_bytes + control_bytes + ack_bytes) / app_bytes
+        overhead_pct = (
+            100.0
+            * (point["piggyback_bytes"] + point["control_bytes"] + point["ack_bytes"])
+            / point["app_bytes"]
+        )
         rows.append(
             (
                 "off" if timer is None else f"{timer:g} min",
-                clcs,
-                piggyback_bytes,
-                control_bytes,
-                ack_bytes,
-                replica_bytes,
-                log_peak_bytes,
-                stored_bytes,
+                point["clcs"],
+                point["piggyback_bytes"],
+                point["control_bytes"],
+                point["ack_bytes"],
+                point["replica_bytes"],
+                point["log_peak_bytes"],
+                point["stored_bytes"],
                 round(overhead_pct, 2),
             )
         )
-        runs.append(results)
     return ExperimentResult(
         name="§5.2 -- Network traffic and storage cost of the protocol",
         description=(
@@ -114,5 +138,34 @@ def protocol_overhead(
             "claim": "with no CLCs the only cost is volatile logging + one "
             "integer per inter-cluster message"
         },
-        runs=runs,
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="overhead",
+        title="§5.2 -- protocol traffic and storage cost decomposition",
+        artifact="§5.2",
+        grid=_grid,
+        point=_point,
+        reduce=_reduce,
+    )
+)
+
+
+def protocol_overhead(
+    timers_min: Optional[Sequence[Optional[float]]] = None,
+    nodes: int = 100,
+    total_time: float = TOTAL_TIME,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Cost decomposition across CLC timer settings (both clusters equal)."""
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        EXPERIMENT,
+        timers_min=list(timers_min) if timers_min is not None else None,
+        nodes=nodes,
+        total_time=total_time,
+        seed=seed,
     )

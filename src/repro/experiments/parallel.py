@@ -1,13 +1,16 @@
-"""Process-parallel execution of experiment sweeps.
+"""Process-parallel map primitive (see also :mod:`repro.experiments.runner`).
 
 Each sweep point is an independent simulation, so figure sweeps are
 embarrassingly parallel.  ``parallel_map`` fans work out over a process
 pool (simulations are CPU-bound; threads would serialize on the GIL) and
 preserves input order.  Determinism is unaffected: every point builds its
 own federation from an explicit seed, so serial and parallel execution
-produce identical results (asserted in ``tests/test_parallel.py``).
+produce identical results.
 
-Workers must be module-level functions with picklable arguments.
+Workers must be module-level functions with picklable arguments.  The
+sweep engine (:mod:`repro.experiments.runner`) layers registry lookup and
+result caching on top of the same pool pattern; this module remains the
+dependency-free primitive.
 """
 
 from __future__ import annotations

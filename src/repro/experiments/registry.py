@@ -1,0 +1,170 @@
+"""Declarative registry of the paper's experiments.
+
+Every experiment is three pure pieces:
+
+* ``grid(**scale_kwargs) -> list[dict]`` -- the ordered parameter grid.
+  Each point is a JSON-serializable dict (numbers, strings, lists,
+  ``None``); the dict fully determines the simulation, including its
+  random seed, so any point can run anywhere (another process, another
+  machine, a cache lookup) and produce the same answer.
+* ``point(params) -> dict`` -- run ONE grid point and return a picklable
+  summary (plain scalars/lists only -- no live federation objects).
+  Must be a module-level function so :mod:`concurrent.futures` can ship
+  it to worker processes.
+* ``reduce(grid, points) -> ExperimentResult`` -- assemble the paper's
+  table/series from the per-point summaries, in grid order.
+
+The legacy per-experiment entry points (``table1_message_counts`` & co.)
+are thin wrappers that run the same grid/point/reduce pipeline serially
+in-process, so the parallel sweep path is identical-by-construction to
+the historical serial path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = [
+    "Experiment",
+    "all_experiments",
+    "canonical_params",
+    "derive_seed",
+    "get",
+    "load_all",
+    "names",
+    "register",
+]
+
+#: modules whose import registers experiments (one per paper artifact group)
+_EXPERIMENT_MODULES = (
+    "repro.experiments.table1",
+    "repro.experiments.fig6_fig7",
+    "repro.experiments.fig8",
+    "repro.experiments.fig9",
+    "repro.experiments.figure5",
+    "repro.experiments.table2_table3",
+    "repro.experiments.overhead",
+    "repro.experiments.robustness",
+    "repro.experiments.failure_sweep",
+    "repro.experiments.scalability",
+    "repro.experiments.ablations",
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: declarative grid + pure point + reducer."""
+
+    name: str
+    title: str
+    grid: Callable[..., list]
+    point: Callable[[dict], dict]
+    reduce: Callable[[list, list], "object"]
+    #: paper artifact(s) this reproduces, e.g. "Table 1" / "Figure 6-7"
+    artifact: str = ""
+    #: whether ``nodes``/``total_time`` scaling applies (CLI --scale)
+    scaled: bool = True
+    tags: tuple = field(default_factory=tuple)
+
+    def grid_kwargs(self, overrides: Optional[dict] = None) -> dict:
+        """Filter ``overrides`` down to the kwargs this grid accepts."""
+        overrides = overrides or {}
+        sig = inspect.signature(self.grid)
+        if any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in sig.parameters.values()
+        ):
+            return dict(overrides)
+        return {k: v for k, v in overrides.items() if k in sig.parameters}
+
+    def build_grid(self, overrides: Optional[dict] = None) -> list:
+        grid = self.grid(**self.grid_kwargs(overrides))
+        return [canonical_params(p) for p in grid]
+
+
+_REGISTRY: dict = {}
+_LOADED = False
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry.
+
+    Re-registering the same declaration (same grid/point/reduce functions
+    by module and qualname, as happens on a module reload) replaces the
+    entry; any other name collision is an error so a copy-pasted name
+    cannot silently drop an experiment.
+    """
+    existing = _REGISTRY.get(experiment.name)
+    if existing is not None and existing is not experiment:
+        def _ident(fn) -> tuple:
+            return (fn.__module__, getattr(fn, "__qualname__", fn.__name__))
+
+        same_declaration = all(
+            _ident(getattr(existing, attr)) == _ident(getattr(experiment, attr))
+            for attr in ("grid", "point", "reduce")
+        )
+        if not same_declaration:
+            raise ValueError(
+                f"experiment {experiment.name!r} registered twice "
+                f"({existing.point.__module__}.{existing.point.__qualname__} "
+                f"and {experiment.point.__module__}.{experiment.point.__qualname__})"
+            )
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def load_all() -> None:
+    """Import every experiment module so its ``register`` calls run."""
+    global _LOADED
+    if _LOADED:
+        return
+    import importlib
+
+    for module in _EXPERIMENT_MODULES:
+        importlib.import_module(module)
+    _LOADED = True
+
+
+def names() -> list:
+    load_all()
+    return sorted(_REGISTRY)
+
+
+def all_experiments() -> list:
+    load_all()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get(name: str) -> Experiment:
+    load_all()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def canonical_params(params: dict) -> dict:
+    """Validate that a grid point is JSON-canonicalizable and return it.
+
+    Grid points become cache keys, so they must round-trip through
+    canonical JSON.  Tuples are normalized to lists (JSON has no tuples).
+    """
+    encoded = json.dumps(params, sort_keys=True)
+    return json.loads(encoded)
+
+
+def derive_seed(root_seed: int, *components) -> int:
+    """Deterministic per-point seed from a root seed and identifying parts.
+
+    Stable across processes and Python versions (unlike ``hash()``), so a
+    sweep point computes the same seed no matter which worker runs it.
+    """
+    material = json.dumps([root_seed, *components], sort_keys=True, default=str)
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (2**63)

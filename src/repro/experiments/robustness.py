@@ -19,49 +19,76 @@ import numpy as np
 from repro.app.workloads import TOTAL_TIME, table1_workload
 from repro.config.timers import MINUTE
 from repro.experiments.common import ExperimentResult, run_federation
+from repro.experiments.registry import Experiment, derive_seed, register
 
 __all__ = ["multi_seed_robustness"]
 
+_METRICS = (
+    "msgs 0->0",
+    "msgs 1->1",
+    "msgs 0->1",
+    "msgs 1->0",
+    "c0 unforced",
+    "c0 forced",
+    "c1 unforced",
+    "c1 forced",
+)
 
-def multi_seed_robustness(
+
+def _grid(
     seeds: Optional[Sequence[int]] = None,
     nodes: int = 100,
     total_time: float = TOTAL_TIME,
     clc_period_0: float = 30 * MINUTE,
-) -> ExperimentResult:
-    seeds = list(seeds if seeds is not None else range(1, 11))
-    metrics: dict = {
-        "msgs 0->0": [],
-        "msgs 1->1": [],
-        "msgs 0->1": [],
-        "msgs 1->0": [],
-        "c0 unforced": [],
-        "c0 forced": [],
-        "c1 unforced": [],
-        "c1 forced": [],
-    }
-    for seed in seeds:
-        topology, application, timers = table1_workload(
-            nodes=nodes,
-            total_time=total_time,
-            clc_period_0=clc_period_0,
-            clc_period_1=None,
-        )
-        _fed, results = run_federation(topology, application, timers, seed=seed)
-        metrics["msgs 0->0"].append(results.app_messages(0, 0))
-        metrics["msgs 1->1"].append(results.app_messages(1, 1))
-        metrics["msgs 0->1"].append(results.app_messages(0, 1))
-        metrics["msgs 1->0"].append(results.app_messages(1, 0))
-        c0 = results.clc_counts(0)
-        c1 = results.clc_counts(1)
-        metrics["c0 unforced"].append(c0["unforced"])
-        metrics["c0 forced"].append(c0["forced"])
-        metrics["c1 unforced"].append(c1["unforced"])
-        metrics["c1 forced"].append(c1["forced"])
+    seed: Optional[int] = None,
+    repetitions: int = 10,
+) -> list:
+    """Ten historical seeds by default; a root ``seed`` derives fresh ones."""
+    if not seeds:
+        if seed is None:
+            seeds = range(1, repetitions + 1)
+        else:
+            seeds = [derive_seed(seed, "robustness", i) for i in range(repetitions)]
+    return [
+        {
+            "seed": s,
+            "nodes": nodes,
+            "total_time": total_time,
+            "clc_period_0": clc_period_0,
+        }
+        for s in seeds
+    ]
 
+
+def _point(params: dict) -> dict:
+    topology, application, timers = table1_workload(
+        nodes=params["nodes"],
+        total_time=params["total_time"],
+        clc_period_0=params["clc_period_0"],
+        clc_period_1=None,
+    )
+    _fed, results = run_federation(
+        topology, application, timers, seed=params["seed"]
+    )
+    c0 = results.clc_counts(0)
+    c1 = results.clc_counts(1)
+    return {
+        "msgs 0->0": results.app_messages(0, 0),
+        "msgs 1->1": results.app_messages(1, 1),
+        "msgs 0->1": results.app_messages(0, 1),
+        "msgs 1->0": results.app_messages(1, 0),
+        "c0 unforced": c0["unforced"],
+        "c0 forced": c0["forced"],
+        "c1 unforced": c1["unforced"],
+        "c1 forced": c1["forced"],
+    }
+
+
+def _reduce(grid: list, points: list) -> ExperimentResult:
+    seeds = [params["seed"] for params in grid]
     rows = []
-    for name, values in metrics.items():
-        arr = np.asarray(values, dtype=float)
+    for name in _METRICS:
+        arr = np.asarray([point[name] for point in points], dtype=float)
         rows.append(
             (
                 name,
@@ -71,6 +98,7 @@ def multi_seed_robustness(
                 int(arr.max()),
             )
         )
+    clc_period_0 = grid[0]["clc_period_0"]
     exp = ExperimentResult(
         name="Robustness -- headline results across seeds",
         description=(
@@ -88,3 +116,32 @@ def multi_seed_robustness(
     )
     exp.notes.append(f"seeds: {seeds}")
     return exp
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="robustness",
+        title="Robustness -- headline results across independent seeds",
+        artifact="Table 1 / Figures 6-7",
+        grid=_grid,
+        point=_point,
+        reduce=_reduce,
+    )
+)
+
+
+def multi_seed_robustness(
+    seeds: Optional[Sequence[int]] = None,
+    nodes: int = 100,
+    total_time: float = TOTAL_TIME,
+    clc_period_0: float = 30 * MINUTE,
+) -> ExperimentResult:
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        EXPERIMENT,
+        seeds=list(seeds) if seeds is not None else None,
+        nodes=nodes,
+        total_time=total_time,
+        clc_period_0=clc_period_0,
+    )

@@ -16,27 +16,41 @@ from __future__ import annotations
 
 from repro.app.workloads import TOTAL_TIME, table1_workload
 from repro.experiments.common import ExperimentResult, run_federation
+from repro.experiments.registry import Experiment, register
 
 __all__ = ["table1_message_counts", "PAPER_TABLE1"]
 
 PAPER_TABLE1 = {(0, 0): 2920, (1, 1): 2497, (0, 1): 145, (1, 0): 11}
 
+_ORDER = [(0, 0), (1, 1), (0, 1), (1, 0)]
 
-def table1_message_counts(
+
+def _grid(
     nodes: int = 100,
     total_time: float = TOTAL_TIME,
     seed: int = 42,
-) -> ExperimentResult:
-    """Run the Table 1 workload and report the message-count matrix."""
+) -> list:
+    return [{"nodes": nodes, "total_time": total_time, "seed": seed}]
+
+
+def _point(params: dict) -> dict:
     topology, application, timers = table1_workload(
-        nodes=nodes, total_time=total_time
+        nodes=params["nodes"], total_time=params["total_time"]
     )
-    _fed, results = run_federation(topology, application, timers, seed=seed)
-    scale = (nodes * total_time) / (100 * TOTAL_TIME)
-    order = [(0, 0), (1, 1), (0, 1), (1, 0)]
+    _fed, results = run_federation(
+        topology, application, timers, seed=params["seed"]
+    )
+    return {
+        "messages": {f"{s}->{d}": results.app_messages(s, d) for s, d in _ORDER}
+    }
+
+
+def _reduce(grid: list, points: list) -> ExperimentResult:
+    params, point = grid[0], points[0]
+    scale = (params["nodes"] * params["total_time"]) / (100 * TOTAL_TIME)
     rows = []
-    for src, dst in order:
-        measured = results.app_messages(src, dst)
+    for src, dst in _ORDER:
+        measured = point["messages"][f"{src}->{dst}"]
         expected = PAPER_TABLE1[(src, dst)] * scale
         rows.append(
             (f"Cluster {src}", f"Cluster {dst}", measured, round(expected, 1))
@@ -51,10 +65,35 @@ def table1_message_counts(
         headers=["Sender's Cluster", "Receiver's Cluster", "Messages", "Paper (scaled)"],
         rows=rows,
         paper={f"{s}->{d}": c for (s, d), c in PAPER_TABLE1.items()},
-        runs=[results],
     )
     if scale != 1.0:
         exp.notes.append(
-            f"run scaled by {scale:.4g} (nodes={nodes}, total_time={total_time})"
+            f"run scaled by {scale:.4g} (nodes={params['nodes']}, "
+            f"total_time={params['total_time']})"
         )
     return exp
+
+
+EXPERIMENT = register(
+    Experiment(
+        name="table1",
+        title="Table 1 -- application message counts (§5.2)",
+        artifact="Table 1",
+        grid=_grid,
+        point=_point,
+        reduce=_reduce,
+    )
+)
+
+
+def table1_message_counts(
+    nodes: int = 100,
+    total_time: float = TOTAL_TIME,
+    seed: int = 42,
+) -> ExperimentResult:
+    """Run the Table 1 workload and report the message-count matrix."""
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        EXPERIMENT, nodes=nodes, total_time=total_time, seed=seed
+    )

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.app.process import Mailbox, compute_communicate_factory, scripted_sender_factory
+from repro.app.process import Mailbox, scripted_sender_factory
 from repro.app.workloads import (
-    TOTAL_TIME,
     fig9_workload,
     pipeline_workload,
     table1_workload,

@@ -1,6 +1,7 @@
 """Smoke tests for the CLI and the example scripts."""
 
 import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -14,6 +15,16 @@ from repro.config.timers import TimersConfig
 from repro.network.topology import two_cluster_topology
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def _example_env() -> dict:
+    """Subprocess env with ``src/`` importable, installed or not."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
+    return env
 
 
 @pytest.fixture
@@ -116,6 +127,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=300,
+        env=_example_env(),
     )
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip()

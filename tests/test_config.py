@@ -12,7 +12,7 @@ from repro.config.loader import (
     topology_to_dict,
 )
 from repro.config.timers import HOUR, MINUTE, TimersConfig
-from repro.network.topology import ClusterSpec, Topology, two_cluster_topology
+from repro.network.topology import two_cluster_topology
 
 
 class TestClusterAppSpec:

@@ -1,7 +1,5 @@
 """Tests for the request/response exchange workload (§2.1)."""
 
-import pytest
-
 from repro.app.process import exchange_factory
 from repro.analysis.consistency import check_invariants, verify_consistency
 from repro.network.message import NodeId

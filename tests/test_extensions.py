@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis.consistency import check_invariants, verify_consistency
 from repro.cluster.federation import Federation
-from repro.network.message import MessageKind, NodeId
+from repro.network.message import NodeId
 from repro.sim.trace import TraceLevel
 from tests.conftest import (
     chatty_application,

@@ -12,8 +12,6 @@ cluster 0 and verify the strawman's extra checkpoint (CLC3) was indeed
 useless: cluster 1 rolls back *through* it to the m1 boundary either way.
 """
 
-import pytest
-
 from repro.app.process import scripted_sender_factory
 from repro.network.message import NodeId
 from tests.conftest import make_federation

@@ -6,8 +6,6 @@ delivered only after the forced CLC commits, and acknowledged with the
 receiver's SN + 1 at arrival.
 """
 
-import pytest
-
 from repro.app.process import Mailbox, scripted_sender_factory
 from repro.core.clc import CheckpointCause
 from repro.network.message import NodeId

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.app.process import scripted_sender_factory
 from repro.network.message import NodeId
 from tests.conftest import make_federation
 

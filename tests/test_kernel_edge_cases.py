@@ -1,10 +1,7 @@
 """Additional edge-case coverage for the simulation substrate."""
 
-import math
-
 import pytest
 
-from repro.sim.kernel import Simulator, SimulationError
 from repro.sim.process import Interrupt, Process, Signal, Timeout
 from repro.sim.random import RandomStreams
 from repro.sim.timers import PeriodicTimer
@@ -65,16 +62,16 @@ class TestProcessEdges:
             yield Timeout(2.0)
             return "leaf"
 
-        def middle(l):
-            res = yield l
+        def middle(child):
+            res = yield child
             return f"middle({res})"
 
         def root(m):
             res = yield m
             return f"root({res})"
 
-        l = Process(sim, leaf())
-        m = Process(sim, middle(l))
+        leaf_proc = Process(sim, leaf())
+        m = Process(sim, middle(leaf_proc))
         r = Process(sim, root(m))
         sim.run()
         assert r.result == "root(middle(leaf))"

@@ -22,7 +22,7 @@ class TestAsciiPlot:
     def test_monotone_series_renders_monotone(self):
         xs = list(range(10))
         text = ascii_plot(xs, {"up": [float(x) for x in xs]}, width=20, height=10)
-        rows = [l.split("|", 1)[1] for l in text.splitlines() if "|" in l]
+        rows = [line.split("|", 1)[1] for line in text.splitlines() if "|" in line]
         cols = []
         for r, row in enumerate(rows):
             for c, ch in enumerate(row):
@@ -36,7 +36,7 @@ class TestAsciiPlot:
     def test_constant_series(self):
         text = ascii_plot([1, 2, 3], {"flat": [5, 5, 5]})
         # 3 markers on one row (plus the 'o' in the legend's "o = flat")
-        canvas_rows = [l for l in text.splitlines() if "|" in l]
+        canvas_rows = [line for line in text.splitlines() if "|" in line]
         marked = [r for r in canvas_rows if "o" in r]
         assert len(marked) == 1
         assert marked[0].count("o") == 3

@@ -1,8 +1,6 @@
 """Property-based tests (hypothesis) on the core data structures and the
 recovery-line computations."""
 
-import heapq
-
 from hypothesis import given, settings, strategies as st
 
 from repro.core.ddv import DDV

@@ -1,12 +1,9 @@
 """Edge-of-protocol tests: failures inside 2PC windows, partial DDV
 coverage, recovery-window arrivals, FIFO properties."""
 
-import pytest
-
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis.consistency import check_invariants, verify_consistency
-from repro.app.process import scripted_sender_factory
+from repro.analysis.consistency import check_invariants
 from repro.core.hc3i import Piggyback
 from repro.network.message import Message, MessageKind, NodeId
 from tests.conftest import make_federation

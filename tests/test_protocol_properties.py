@@ -82,10 +82,17 @@ def test_live_cascade_matches_pure_model(params):
     n_clusters, events, faulty = params
     fed, predicted, dirty = build_and_run(n_clusters, events, faulty)
     for c, target in enumerate(predicted):
-        rec = fed.tracer.first("rollback", cluster=c)
+        # Alerts arrive asynchronously, so a cluster may descend to the
+        # recovery line in several steps (each recorded); the property is
+        # that the *fixpoint* -- the last rollback -- matches the pure
+        # model, and intermediate steps never undershoot it.
+        recs = [r for r in fed.tracer.find("rollback") if r["cluster"] == c]
+        rec = recs[-1] if recs else None
         if target is None:
             assert rec is None, f"cluster {c} rolled back unexpectedly"
         else:
+            for step in recs:
+                assert step["to_sn"] >= target, "rolled back past the line"
             cs = fed.protocol.cluster_states[c]
             if c == faulty or dirty[c] or cs.rollback_epoch > 0:
                 # a real rollback happened (or the no-op guard fired for a

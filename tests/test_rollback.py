@@ -1,8 +1,6 @@
 """Protocol tests: rollback, alerts, recovery line, replays (§3.3-§3.4)."""
 
-import pytest
-
-from repro.app.process import Mailbox, scripted_sender_factory
+from repro.app.process import scripted_sender_factory
 from repro.core.recovery_line import cascade_targets
 from repro.network.message import NodeId
 from tests.conftest import make_federation

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.kernel import Simulator, SimulationError
+from repro.sim.kernel import SimulationError
 from repro.sim.process import Interrupt, Process, Signal, Timeout, all_of
 
 

@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.sim.kernel import Simulator
 from repro.sim.random import RandomStreams, Stream
 from repro.sim.stats import Counter, Series, StatsRegistry, Tally, TimeWeighted
 from repro.sim.timers import PeriodicTimer

@@ -1,0 +1,328 @@
+"""Tests for the parallel experiment engine: registry, cache, runner, CLI."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import SCALE_PROFILES, main
+from repro.experiments import registry
+from repro.experiments.cache import ResultCache, code_version_hash
+from repro.experiments.registry import canonical_params, derive_seed
+from repro.experiments.runner import run_experiment
+from repro.experiments.table1 import table1_message_counts
+
+TINY = {"nodes": 4, "total_time": 1800.0}
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        names = registry.names()
+        for expected in (
+            "table1",
+            "table2",
+            "table3",
+            "no-gc",
+            "figure5",
+            "fig6-fig7",
+            "fig8",
+            "fig9",
+            "overhead",
+            "robustness",
+            "mtbf",
+            "scaling",
+            "baselines",
+            "ablation-transitive",
+            "ablation-logging",
+            "ablation-incremental",
+            "ablation-replication",
+            "ablation-gc-period",
+        ):
+            assert expected in names
+
+    def test_listing_is_sorted_and_titled(self):
+        experiments = registry.all_experiments()
+        assert [e.name for e in experiments] == sorted(e.name for e in experiments)
+        for exp in experiments:
+            assert exp.title
+            assert callable(exp.grid) and callable(exp.point) and callable(exp.reduce)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            registry.get("nope")
+
+    def test_grid_kwargs_filters_unknown_keys(self):
+        exp = registry.get("figure5")  # grid takes seed/nodes_per_cluster only
+        kwargs = exp.grid_kwargs({"nodes": 10, "total_time": 60.0, "seed": 3})
+        assert kwargs == {"seed": 3}
+
+    def test_grids_are_json_canonical(self):
+        for exp in registry.all_experiments():
+            for params in exp.build_grid():
+                assert params == json.loads(json.dumps(params, sort_keys=True))
+
+    def test_canonical_params_normalizes_tuples(self):
+        assert canonical_params({"a": (1, 2)}) == {"a": [1, 2]}
+
+    def test_canonical_params_rejects_non_json(self):
+        with pytest.raises(TypeError):
+            canonical_params({"a": object()})
+
+    def test_duplicate_name_with_different_functions_rejected(self):
+        table1 = registry.get("table1")
+        clash = dataclasses.replace(
+            registry.get("fig8"), name="table1"
+        )
+        with pytest.raises(ValueError, match="registered twice"):
+            registry.register(clash)
+        assert registry.get("table1") is table1  # original untouched
+
+    def test_reregistering_same_declaration_is_idempotent(self):
+        table1 = registry.get("table1")
+        again = dataclasses.replace(table1, title="reloaded")
+        registry.register(again)
+        assert registry.get("table1") is again
+        registry.register(table1)  # restore
+
+    def test_parallel_runs_the_passed_experiment_not_the_registered_one(self):
+        """The pool must execute exp.point, never a by-name registry lookup."""
+        disguised = dataclasses.replace(
+            registry.get("fig6-fig7"),
+            point=canonical_params,  # module-level, picklable, echoes params
+            reduce=lambda grid, points: points,
+        )
+        overrides = {"delays_min": [5, 15], **TINY, "seed": 2}
+        serial = run_experiment(disguised, overrides=overrides, jobs=1)
+        para = run_experiment(disguised, overrides=overrides, jobs=2)
+        # a by-name lookup would have run the registered fig6-fig7 point
+        # (returning CLC counts) in the workers instead of echoing params
+        assert serial.result == para.result == disguised.build_grid(overrides)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "fig9", 3) == derive_seed(42, "fig9", 3)
+
+    def test_distinct_components_distinct_seeds(self):
+        seeds = {derive_seed(42, "fig9", i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_root_seed_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_range(self):
+        seed = derive_seed(0)
+        assert 0 <= seed < 2**63
+
+
+class TestCacheKeys:
+    def test_stable_across_instances(self, tmp_path):
+        a = ResultCache(tmp_path, code_hash="abc")
+        b = ResultCache(tmp_path / "elsewhere", code_hash="abc")
+        assert a.key("table1", {"x": 1}) == b.key("table1", {"x": 1})
+
+    def test_param_order_irrelevant(self, tmp_path):
+        cache = ResultCache(tmp_path, code_hash="abc")
+        assert cache.key("t", {"a": 1, "b": 2}) == cache.key("t", {"b": 2, "a": 1})
+
+    def test_params_change_key(self, tmp_path):
+        cache = ResultCache(tmp_path, code_hash="abc")
+        assert cache.key("t", {"a": 1}) != cache.key("t", {"a": 2})
+
+    def test_experiment_name_changes_key(self, tmp_path):
+        cache = ResultCache(tmp_path, code_hash="abc")
+        assert cache.key("t1", {"a": 1}) != cache.key("t2", {"a": 1})
+
+    def test_code_version_invalidates(self, tmp_path):
+        old = ResultCache(tmp_path, code_hash="version-1")
+        new = ResultCache(tmp_path, code_hash="version-2")
+        old.put("t", {"a": 1}, {"answer": 42})
+        assert old.get("t", {"a": 1}) == {"answer": 42}
+        assert new.get("t", {"a": 1}) is None
+
+    def test_code_version_hash_is_sha256_hex(self):
+        digest = code_version_hash()
+        assert len(digest) == 64
+        assert digest == code_version_hash()  # cached + stable
+
+
+class TestCacheStore:
+    def test_roundtrip_and_counters(self, tmp_path):
+        cache = ResultCache(tmp_path, code_hash="h")
+        assert cache.get("t", {"a": 1}) is None
+        cache.put("t", {"a": 1}, {"rows": [1, 2, 3]})
+        assert cache.get("t", {"a": 1}) == {"rows": [1, 2, 3]}
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.entry_count() == 1
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"not a pickle", b"garbage\n", b"", b"\x80\x05truncated"],
+    )
+    def test_corrupt_entry_is_a_miss(self, tmp_path, garbage):
+        cache = ResultCache(tmp_path, code_hash="h")
+        cache.put("t", {"a": 1}, {"v": 1})
+        path = cache.path(cache.key("t", {"a": 1}))
+        path.write_bytes(garbage)
+        assert cache.get("t", {"a": 1}) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path, code_hash="h")
+        cache.put("t", {"a": 1}, 1)
+        cache.put("t", {"a": 2}, 2)
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+
+    def test_disabled_cache_never_stores(self, tmp_path):
+        cache = ResultCache(tmp_path, code_hash="h", enabled=False)
+        cache.put("t", {"a": 1}, 1)
+        assert cache.get("t", {"a": 1}) is None
+        assert cache.entry_count() == 0
+
+
+class TestRunner:
+    def test_serial_matches_parallel(self):
+        overrides = {"delays_min": [5, 15, 30], **TINY, "seed": 2}
+        serial = run_experiment("fig6-fig7", overrides=overrides, jobs=1)
+        para = run_experiment("fig6-fig7", overrides=overrides, jobs=4)
+        assert serial.result.xs == para.result.xs
+        assert serial.result.series == para.result.series
+        assert serial.points == para.points == 3
+
+    def test_matches_legacy_serial_entry_point(self):
+        report = run_experiment(
+            "table1", overrides={"nodes": 10, "total_time": 7200.0, "seed": 1}
+        )
+        legacy = table1_message_counts(nodes=10, total_time=7200.0, seed=1)
+        assert report.result.render() == legacy.render()
+
+    def test_second_run_is_fully_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        overrides = {**TINY, "seed": 3}
+        first = run_experiment("table1", overrides=overrides, cache=cache)
+        assert first.executed == first.points == 1
+        again = run_experiment("table1", overrides=overrides, cache=cache)
+        assert again.executed == 0
+        assert again.cache_hits == again.points == 1
+        assert again.result.render() == first.result.render()
+
+    def test_cached_run_never_recomputes(self, tmp_path):
+        """A poisoned point function proves hits bypass execution entirely."""
+        cache = ResultCache(tmp_path)
+        overrides = {**TINY, "seed": 9}
+        run_experiment("table1", overrides=overrides, cache=cache)
+
+        def _exploding_point(params):
+            raise AssertionError("point re-executed despite warm cache")
+
+        poisoned = dataclasses.replace(
+            registry.get("table1"), point=_exploding_point
+        )
+        report = run_experiment(poisoned, overrides=overrides, cache=cache)
+        assert report.executed == 0 and report.cache_hits == 1
+
+    def test_partial_cache_only_runs_missing_points(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = {**TINY, "seed": 2}
+        run_experiment(
+            "fig6-fig7", overrides={"delays_min": [5, 15], **base}, cache=cache
+        )
+        grown = run_experiment(
+            "fig6-fig7", overrides={"delays_min": [5, 15, 30], **base}, cache=cache
+        )
+        assert grown.points == 3
+        assert grown.cache_hits == 2 and grown.executed == 1
+
+    def test_no_cache_executes_every_time(self):
+        report = run_experiment("table1", overrides={**TINY, "seed": 4})
+        assert report.cache_hits == 0 and report.executed == 1
+
+    def test_seed_changes_escape_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiment("table1", overrides={**TINY, "seed": 1}, cache=cache)
+        other = run_experiment("table1", overrides={**TINY, "seed": 2}, cache=cache)
+        assert other.executed == 1 and other.cache_hits == 0
+
+    def test_empty_sequences_fall_back_to_default_grids(self):
+        # pre-engine semantics: `delays_min or DEFAULT` treated [] like None
+        assert len(registry.get("fig6-fig7").build_grid({"delays_min": []})) == 9
+        assert len(registry.get("fig8").build_grid({"delays_min": []})) == 7
+        assert len(registry.get("fig9").build_grid({"message_counts": []})) == 6
+        assert len(registry.get("robustness").build_grid({"seeds": []})) == 10
+
+    def test_empty_grid_is_an_error(self):
+        empty = dataclasses.replace(
+            registry.get("table1"), grid=lambda: []
+        )
+        with pytest.raises(ValueError, match="empty grid"):
+            run_experiment(empty)
+
+    def test_robustness_root_seed_derives_distinct_streams(self):
+        grid = registry.get("robustness").build_grid({"seed": 7, **TINY})
+        seeds = [p["seed"] for p in grid]
+        assert len(seeds) == len(set(seeds)) == 10
+        assert grid == registry.get("robustness").build_grid({"seed": 7, **TINY})
+        default = registry.get("robustness").build_grid(TINY)
+        assert [p["seed"] for p in default] == list(range(1, 11))
+
+
+class TestSweepCli:
+    def test_list_enumerates_all_experiments(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in registry.names():
+            assert name in out
+
+    def test_sweep_runs_and_reports(self, tmp_path, capsys):
+        rc = main(
+            ["sweep", "table1", "--scale", "tiny", "--jobs", "2",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "[sweep] table1: 1 points" in out
+
+    def test_sweep_json_output(self, tmp_path, capsys):
+        rc = main(
+            ["sweep", "fig8", "--scale", "tiny", "--no-cache", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "fig8"
+        assert payload["series"]["c0 total"]
+        assert payload["points"] == len(payload["xs"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "nope"])
+
+    def test_name_required_without_list(self):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+
+    def test_unscaled_experiment_ignores_scale_profile(self, capsys):
+        rc = main(["sweep", "figure5", "--scale", "tiny", "--no-cache"])
+        assert rc == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_scale_profiles_complete(self):
+        assert set(SCALE_PROFILES) == {"full", "small", "tiny"}
+
+    def test_explicit_seed_never_silently_dropped(self):
+        from repro.cli import _sweep_overrides
+
+        seedless = dataclasses.replace(
+            registry.get("table1"), grid=lambda nodes=4: [{"nodes": nodes}]
+        )
+        with pytest.raises(SystemExit, match="does not accept --seed"):
+            _sweep_overrides(seedless, "tiny", seed=9)
+
+    def test_seed_flag_reaches_robustness(self, capsys):
+        rc = main(
+            ["sweep", "robustness", "--scale", "tiny", "--no-cache", "--seed", "5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "10 points" in out
+        assert "seeds: [1, 2, 3" not in out  # derived, not the historical list

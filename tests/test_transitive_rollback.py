@@ -5,8 +5,6 @@ rollback rules; these tests pin the interaction: transitively learned
 entries trigger rollbacks exactly like directly learned ones.
 """
 
-import pytest
-
 from repro.analysis.consistency import check_invariants, verify_consistency
 from repro.app.process import scripted_sender_factory
 from repro.core.recovery_line import cascade_targets
