@@ -15,12 +15,18 @@ Paper sweeps run through the parallel experiment engine::
     repro sweep --list
     repro sweep table1 --jobs 4
     repro sweep fig6-fig7 --scale tiny --no-cache
+    repro sweep fig8 --set delays_min=[5,15]
+    repro sweep table1 --backend ssh --hosts nodeA,nodeB:4
+
+See ``docs/sweeps.md`` for the sweep-engine guide (scales, caching,
+multi-host execution) and ``docs/architecture.md`` for the module map.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from typing import Optional, Sequence
 
@@ -92,14 +98,30 @@ def _experiment_names() -> list:
 EXPERIMENTS = tuple(_experiment_names())
 
 
-def _sweep_overrides(experiment, scale: str, seed: Optional[int] = None) -> dict:
+def _sweep_overrides(
+    experiment,
+    scale: str,
+    seed: Optional[int] = None,
+    sets: Optional[dict] = None,
+) -> dict:
     """Grid overrides for one experiment under a --scale profile.
 
     Scale keys an experiment's grid does not understand are dropped
     silently (that is what makes one profile applicable to heterogeneous
-    grids), but an explicit ``--seed`` must never be ignored.
+    grids), but explicit ``--seed`` / ``--set key=value`` overrides must
+    never be ignored: an unknown key is an error, not a no-op.
     """
     overrides = dict(SCALE_PROFILES[scale]) if experiment.scaled else {}
+    for key, value in (sets or {}).items():
+        if key not in experiment.grid_kwargs({key: value}):
+            import inspect
+
+            accepted = sorted(inspect.signature(experiment.grid).parameters)
+            raise SystemExit(
+                f"experiment {experiment.name!r} does not accept --set {key}=...; "
+                f"its grid takes: {', '.join(accepted) or '(nothing)'}"
+            )
+        overrides[key] = value
     if seed is not None:
         if "seed" not in experiment.grid_kwargs({"seed": seed}):
             raise SystemExit(
@@ -107,6 +129,46 @@ def _sweep_overrides(experiment, scale: str, seed: Optional[int] = None) -> dict
             )
         overrides["seed"] = seed
     return overrides
+
+
+def coerce_set_value(raw: str):
+    """Type a ``--set`` value: bool, int, float, JSON lists, else str.
+
+    ``true``/``false`` (any case) become booleans; anything ``json.loads``
+    accepts keeps its JSON type (``5`` -> int, ``5.0`` -> float,
+    ``[5, 15]`` -> list); everything else stays a string.  Non-finite
+    floats are rejected here with a clean error -- grid points must
+    survive a strict JSON round-trip, so NaN/Infinity could never run.
+    """
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+    if _has_non_finite(value):
+        raise SystemExit(f"--set value {raw!r} contains a non-finite number")
+    return value
+
+
+def _has_non_finite(value) -> bool:
+    if isinstance(value, float):
+        return not math.isfinite(value)
+    if isinstance(value, list):
+        return any(_has_non_finite(v) for v in value)
+    if isinstance(value, dict):
+        return any(_has_non_finite(v) for v in value.values())
+    return False
+
+
+def _parse_set_overrides(pairs) -> dict:
+    sets = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects KEY=VALUE, got {pair!r}")
+        sets[key] = coerce_set_value(raw)
+    return sets
 
 
 def _run_experiment(name: str, scale: str) -> int:
@@ -164,6 +226,34 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None, help="override the grid seed")
     parser.add_argument(
+        "--set",
+        dest="sets",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "override one grid kwarg (repeatable); values are typed: "
+            "true/false -> bool, 5 -> int, 5.0 -> float, [5,15] -> list, else str"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["local", "ssh"],
+        default="local",
+        help=(
+            "where cache-missing points execute: 'local' (process pool, default) "
+            "or 'ssh' (fan out to --hosts)"
+        ),
+    )
+    parser.add_argument(
+        "--hosts",
+        default=None,
+        help=(
+            "ssh backend roster: comma list ('nodeA,nodeB:4', ':N' = concurrent "
+            "slots) or a hosts.toml path (see docs/sweeps.md)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the reduced result as JSON instead of tables",
@@ -173,6 +263,7 @@ def build_sweep_parser() -> argparse.ArgumentParser:
 
 def _sweep_main(argv: Sequence[str]) -> int:
     from repro.experiments import registry
+    from repro.experiments.backends import create_backend
     from repro.experiments.cache import ResultCache
     from repro.experiments.runner import run_experiment
 
@@ -194,12 +285,28 @@ def _sweep_main(argv: Sequence[str]) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(root=args.cache_dir)
-    report = run_experiment(
-        experiment,
-        overrides=_sweep_overrides(experiment, args.scale, args.seed),
-        jobs=args.jobs,
-        cache=cache,
+    overrides = _sweep_overrides(
+        experiment, args.scale, args.seed, _parse_set_overrides(args.sets)
     )
+    if args.hosts and args.backend != "ssh":
+        # same rule as --set/--seed: an explicit flag is never a silent no-op
+        raise SystemExit(
+            f"--hosts only applies to --backend ssh (got --backend {args.backend})"
+        )
+    try:
+        backend = create_backend(args.backend, jobs=args.jobs, hosts=args.hosts)
+    except ValueError as exc:
+        raise SystemExit(f"repro sweep: {exc}") from None
+    try:
+        report = run_experiment(
+            experiment,
+            overrides=overrides,
+            jobs=args.jobs,
+            cache=cache,
+            backend=backend,
+        )
+    finally:
+        backend.shutdown()
     result = report.result
     if args.json:
         payload = {
@@ -208,6 +315,9 @@ def _sweep_main(argv: Sequence[str]) -> int:
             "points": report.points,
             "cache_hits": report.cache_hits,
             "executed": report.executed,
+            "backend": report.backend,
+            "host_counts": dict(report.host_counts),
+            "retries": report.retries,
             "name": result.name,
             "headers": list(result.headers),
             "rows": [list(row) for row in result.rows],

@@ -4,10 +4,12 @@ Every experiment is declared as three pure pieces -- a parameter ``grid``,
 a picklable per-point function, and a ``reduce`` step that assembles the
 paper's table/series -- registered in
 :mod:`repro.experiments.registry`.  The sweep engine
-(:mod:`repro.experiments.runner`) fans grid points out over a process
-pool and memoizes them in a content-addressed cache
-(:mod:`repro.experiments.cache`); ``repro sweep <name>`` is the CLI entry
-point.
+(:mod:`repro.experiments.runner`) fans grid points out over a pluggable
+execution backend (:mod:`repro.experiments.backends` -- local process
+pool, SSH multi-host fan-out, or an in-process test double) and memoizes
+them in a content-addressed cache (:mod:`repro.experiments.cache`);
+``repro sweep <name>`` is the CLI entry point, and ``docs/sweeps.md`` the
+user guide.
 
 The historical one-call-per-experiment functions below remain the
 library API; they run the same grid/point/reduce pipeline serially, so

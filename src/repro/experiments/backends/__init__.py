@@ -1,0 +1,87 @@
+"""Pluggable execution backends for the sweep engine.
+
+A grid point is location-independent -- its params dict (seed included)
+fully determines the simulation -- so *where* points execute is a
+pluggable policy behind the :class:`Backend` protocol:
+
+* ``local`` (:class:`LocalProcessBackend`) -- the default; inline for
+  ``jobs <= 1``, a :class:`~concurrent.futures.ProcessPoolExecutor`
+  otherwise.  Byte-identical to the pre-backend runner.
+* ``ssh`` (:class:`SSHBackend`) -- fans cache-missing points out to a
+  roster of hosts (``--hosts nodeA,nodeB:4`` or a ``hosts.toml``) via
+  ``ssh host python -m repro.experiments.remote_worker``.
+* ``inprocess`` (:class:`InProcessBackend`) -- synchronous test double
+  with fake hosts and fault injection.
+
+``create_backend`` is the CLI/runner factory.  The runner owns retry:
+a :class:`WorkerLostError` puts the point back in the queue and the
+backend stops assigning to the dead host, so a sweep survives losing
+workers mid-flight.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.experiments.backends.base import (
+    Backend,
+    BackendUnavailableError,
+    PointOutcome,
+    PointTask,
+    RemoteCodeMismatchError,
+    RemotePointError,
+    WorkerLostError,
+)
+from repro.experiments.backends.hosts import HostSpec, parse_hosts
+from repro.experiments.backends.local import InProcessBackend, LocalProcessBackend
+from repro.experiments.backends.ssh import SSHBackend
+
+__all__ = [
+    "Backend",
+    "BackendUnavailableError",
+    "BACKEND_NAMES",
+    "HostSpec",
+    "InProcessBackend",
+    "LocalProcessBackend",
+    "PointOutcome",
+    "PointTask",
+    "RemoteCodeMismatchError",
+    "RemotePointError",
+    "SSHBackend",
+    "WorkerLostError",
+    "create_backend",
+    "parse_hosts",
+]
+
+#: names accepted by ``--backend`` / :func:`create_backend`
+BACKEND_NAMES = ("local", "ssh", "inprocess")
+
+
+def create_backend(
+    spec: Union[str, Backend, None],
+    jobs: int = 1,
+    hosts: Optional[Union[str, list]] = None,
+    **kwargs,
+) -> Backend:
+    """Resolve a backend name (or pass an instance through) to a Backend.
+
+    ``hosts`` is required for ``ssh``: either a ``--hosts`` spec string
+    (comma list / TOML path, see :func:`parse_hosts`) or a prepared list
+    of :class:`HostSpec`.  Extra ``kwargs`` go to the backend
+    constructor (e.g. ``ssh_command`` or ``point_timeout`` for SSH).
+    """
+    if isinstance(spec, Backend):
+        return spec
+    name = spec or "local"
+    if name == "local":
+        return LocalProcessBackend(jobs=jobs, **kwargs)
+    if name == "inprocess":
+        return InProcessBackend(**kwargs)
+    if name == "ssh":
+        if not hosts:
+            raise ValueError("--backend ssh requires --hosts (comma list or hosts.toml)")
+        roster = parse_hosts(hosts) if isinstance(hosts, str) else list(hosts)
+        return SSHBackend(roster, **kwargs)
+    raise ValueError(
+        f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}"
+    )

@@ -1,0 +1,126 @@
+"""Host roster parsing for distributed backends.
+
+Two spec formats feed ``--hosts``:
+
+* an inline comma list -- ``nodeA,nodeB:4`` -- where an optional
+  ``:slots`` suffix caps concurrent points per host (default 1), and
+* a TOML file (``hosts.toml``) for anything richer::
+
+      [defaults]
+      python = "python3"          # interpreter on the remote host
+      slots = 2
+
+      [[hosts]]
+      name = "nodeA"              # anything `ssh` resolves (~/.ssh/config aliases too)
+      slots = 4
+
+      [[hosts]]
+      name = "nodeB"
+      cwd = "/srv/hc3i-repro"     # cd here before launching the worker
+      pythonpath = "src"          # prepended to PYTHONPATH (uninstalled checkouts)
+
+Every host must be able to ``import repro`` at the same source version
+as the submitting machine -- the SSH backend verifies this with a
+code-hash handshake before trusting any result.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["HostSpec", "parse_hosts"]
+
+_DEFAULTS = {"slots": 1, "python": "python3", "cwd": None, "pythonpath": None}
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One remote execution target."""
+
+    name: str
+    slots: int = 1
+    python: str = "python3"
+    #: directory to ``cd`` into before launching the worker (repo checkout)
+    cwd: Optional[str] = None
+    #: prepended to PYTHONPATH on the remote (e.g. ``src`` for src layouts)
+    pythonpath: Optional[str] = None
+
+
+def parse_hosts(spec: str) -> list:
+    """Parse a ``--hosts`` value into a list of :class:`HostSpec`.
+
+    A value naming an existing file (or ending in ``.toml``) is read as a
+    TOML roster; anything else is an inline comma list.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty --hosts spec")
+    if spec.endswith(".toml") or Path(spec).is_file():
+        return _parse_toml(Path(spec))
+    return _parse_inline(spec)
+
+
+def _parse_inline(spec: str) -> list:
+    hosts = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, sep, slots = chunk.rpartition(":")
+        if sep and slots.isdigit():
+            hosts.append(HostSpec(name=name, slots=max(1, int(slots))))
+        else:
+            hosts.append(HostSpec(name=chunk))
+    if not hosts:
+        raise ValueError(f"no hosts in spec {spec!r}")
+    _reject_duplicates(hosts)
+    return hosts
+
+
+def _parse_toml(path: Path) -> list:
+    try:
+        with open(path, "rb") as fh:
+            data = tomllib.load(fh)
+    except FileNotFoundError:
+        raise ValueError(f"hosts file not found: {path}") from None
+    except tomllib.TOMLDecodeError as exc:
+        raise ValueError(f"invalid hosts file {path}: {exc}") from None
+    defaults = {**_DEFAULTS, **data.get("defaults", {})}
+    entries = data.get("hosts", [])
+    if not entries:
+        raise ValueError(f"hosts file {path} defines no [[hosts]] entries")
+    hosts = []
+    for entry in entries:
+        if "name" not in entry:
+            raise ValueError(f"hosts file {path}: [[hosts]] entry without a name")
+        merged = {**defaults, **entry}
+        unknown = set(merged) - {"name", *_DEFAULTS}
+        if unknown:
+            raise ValueError(
+                f"hosts file {path}: unknown keys {sorted(unknown)} "
+                f"for host {entry['name']!r}"
+            )
+        hosts.append(
+            HostSpec(
+                name=str(merged["name"]),
+                slots=max(1, int(merged["slots"])),
+                python=str(merged["python"]),
+                cwd=None if merged["cwd"] is None else str(merged["cwd"]),
+                pythonpath=(
+                    None if merged["pythonpath"] is None else str(merged["pythonpath"])
+                ),
+            )
+        )
+    _reject_duplicates(hosts)
+    return hosts
+
+
+def _reject_duplicates(hosts: list) -> None:
+    seen = set()
+    for host in hosts:
+        if host.name in seen:
+            raise ValueError(f"duplicate host {host.name!r} in --hosts spec")
+        seen.add(host.name)

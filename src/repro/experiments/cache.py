@@ -15,6 +15,13 @@ killed sweep never leaves a truncated entry behind.
 Cache location: ``--cache-dir`` / constructor argument, else the
 ``REPRO_CACHE_DIR`` environment variable, else
 ``~/.cache/hc3i-repro``.
+
+The cache is *always local to the submitting machine*, whatever backend
+executed the points: remote workers stream values back and the runner
+writes them here as they arrive, so a sweep that dies half-way re-runs
+only its missing points.  ``record`` keeps a best-effort provenance
+journal (``journal.jsonl``) of which host computed each entry -- handy
+when auditing a multi-host sweep.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -119,6 +127,49 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def record(self, experiment: str, params: dict, host: str, elapsed: float = 0.0) -> None:
+        """Append one provenance line: who computed this entry, and how long it took.
+
+        Best-effort and append-only; the journal is documentation, never
+        consulted for lookups, so journal I/O errors are swallowed.
+        """
+        if not self.enabled:
+            return
+        line = json.dumps(
+            {
+                "time": time.time(),
+                "experiment": experiment,
+                "key": self.key(experiment, params),
+                "host": host,
+                "elapsed": round(elapsed, 6),
+            },
+            sort_keys=True,
+        )
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(self.journal_path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        except OSError:
+            pass
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / "journal.jsonl"
+
+    def journal_entries(self) -> list:
+        """Parsed provenance journal, oldest first (skips torn lines)."""
+        entries = []
+        try:
+            with open(self.journal_path, encoding="utf-8") as fh:
+                for raw in fh:
+                    try:
+                        entries.append(json.loads(raw))
+                    except json.JSONDecodeError:
+                        continue
+        except OSError:
+            return []
+        return entries
 
     def clear(self) -> int:
         """Remove every entry; returns the number of files removed."""

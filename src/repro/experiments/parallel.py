@@ -8,9 +8,12 @@ own federation from an explicit seed, so serial and parallel execution
 produce identical results.
 
 Workers must be module-level functions with picklable arguments.  The
-sweep engine (:mod:`repro.experiments.runner`) layers registry lookup and
-result caching on top of the same pool pattern; this module remains the
-dependency-free primitive.
+sweep engine (:mod:`repro.experiments.runner`) layers registry lookup,
+result caching and worker-loss retry on top of the pluggable backend
+layer (:mod:`repro.experiments.backends`); this module remains the
+dependency-light primitive, but accepts a ``backend`` so ad-hoc maps can
+ride the same execution layer (e.g. an ``InProcessBackend`` under a
+debugger, where spawning processes is unwelcome).
 """
 
 from __future__ import annotations
@@ -27,13 +30,25 @@ def parallel_map(
     items: Sequence,
     max_workers: Optional[int] = None,
     serial: bool = False,
+    backend=None,
 ):
     """Map ``fn`` over ``items``, optionally across processes.
 
     Falls back to serial execution for trivial inputs or when ``serial``
-    is requested (useful under debuggers and coverage tools).
+    is requested (useful under debuggers and coverage tools).  When a
+    :class:`~repro.experiments.backends.Backend` is supplied, items are
+    scheduled through it instead of a private pool (order preserved; the
+    backend is not shut down here).
     """
     items = list(items)
+    if backend is not None:
+        from repro.experiments.backends import PointTask
+
+        label = getattr(fn, "__name__", "parallel_map")
+        outcomes = backend.map_grid(
+            PointTask(experiment=label, params=item, fn=fn) for item in items
+        )
+        return [outcome.value for outcome in outcomes]
     if serial or len(items) <= 1:
         return [fn(item) for item in items]
     if max_workers is None:

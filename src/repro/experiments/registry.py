@@ -150,13 +150,47 @@ def get(name: str) -> Experiment:
 
 
 def canonical_params(params: dict) -> dict:
-    """Validate that a grid point is JSON-canonicalizable and return it.
+    """Validate that a grid point round-trips through JSON and return it.
 
-    Grid points become cache keys, so they must round-trip through
-    canonical JSON.  Tuples are normalized to lists (JSON has no tuples).
+    Grid points become cache keys *and* travel as self-contained JSON
+    jobs to remote workers, so lossless serialization is a hard
+    requirement, not a convention.  Tuples are normalized to lists (JSON
+    has no tuples); anything else that decodes differently than it was
+    written -- non-string dict keys (``{1: ...}`` silently becomes
+    ``{"1": ...}``), non-finite floats -- is rejected here, at grid-build
+    time, rather than surfacing as a cache miss or a divergent remote
+    result later.
     """
-    encoded = json.dumps(params, sort_keys=True)
-    return json.loads(encoded)
+    try:
+        encoded = json.dumps(params, sort_keys=True, allow_nan=False)
+    except ValueError as exc:
+        raise ValueError(
+            f"grid point is not JSON-serializable (non-finite float?): "
+            f"{params!r} ({exc})"
+        ) from None
+    decoded = json.loads(encoded)
+    normalized = _jsonify(params)
+    if decoded != normalized:
+        raise ValueError(
+            "grid point does not survive a JSON round-trip "
+            f"(non-string dict keys?): {params!r} decoded as {decoded!r}"
+        )
+    return decoded
+
+
+def _jsonify(obj):
+    """What ``obj`` should look like after a *lossless* JSON round-trip."""
+    if isinstance(obj, dict):
+        return {k: _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(v) for v in obj]
+    if isinstance(obj, bool) or obj is None:
+        return obj
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, float):
+        return json.loads(json.dumps(obj))  # canonical float repr
+    return obj
 
 
 def derive_seed(root_seed: int, *components) -> int:

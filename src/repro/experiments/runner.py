@@ -1,27 +1,49 @@
 """Parallel sweep runner over the experiment registry.
 
 Grid points are independent simulations, so a sweep is embarrassingly
-parallel: cache misses fan out over a :class:`ProcessPoolExecutor`
-(simulations are CPU-bound; threads would serialize on the GIL) while
-hits return instantly from the content-addressed cache.  Determinism is
-structural: every point's params dict carries its own explicit seed, so
-``--jobs 1`` and ``--jobs N`` produce byte-identical results, and the
-legacy serial entry points share this exact pipeline.
+parallel: cache misses fan out over a pluggable execution backend
+(:mod:`repro.experiments.backends` -- local process pool, SSH hosts, or
+an in-process test double) while hits return instantly from the
+content-addressed cache.  Determinism is structural: every point's
+params dict carries its own explicit seed, so ``--jobs 1``, ``--jobs N``
+and ``--backend ssh`` produce byte-identical results, and the legacy
+serial entry points share this exact pipeline.
+
+The runner owns fault tolerance.  Results are written to the local
+cache *as they arrive* (not after the sweep), so a partially failed
+sweep re-executes only its missing points.  A worker/host dying
+mid-point raises :class:`WorkerLostError` from the backend; the runner
+puts the point back in the queue (bounded by ``max_retries`` per point)
+and the backend stops assigning work to the casualty, so a sweep
+survives losing hosts mid-flight -- the federation-of-scavenged-
+resources model of the paper's setting.
 """
 
 from __future__ import annotations
 
-import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.experiments import registry
+from repro.experiments.backends import (
+    Backend,
+    PointTask,
+    WorkerLostError,
+    create_backend,
+)
 from repro.experiments.cache import ResultCache
 from repro.experiments.registry import Experiment
 
-__all__ = ["SweepReport", "run_experiment", "run_grid_inline"]
+__all__ = ["SweepError", "SweepReport", "run_experiment", "run_grid_inline"]
+
+#: per-point reassignment budget after worker losses
+DEFAULT_MAX_RETRIES = 3
+
+
+class SweepError(RuntimeError):
+    """A sweep could not be completed (retry budget or backend exhausted)."""
 
 
 @dataclass
@@ -36,13 +58,27 @@ class SweepReport:
     executed: int = 0
     jobs: int = 1
     elapsed: float = 0.0
+    backend: str = "local"
+    #: executed-point count per host, e.g. ``{"nodeA": 4, "nodeB": 3}``
+    host_counts: dict = field(default_factory=dict)
+    #: points resubmitted after a worker loss
+    retries: int = 0
 
     def summary(self) -> str:
-        return (
+        executed = f"{self.executed} executed"
+        if self.retries:
+            executed += f" ({self.retries} retried)"
+        text = (
             f"{self.name}: {self.points} points "
-            f"({self.cache_hits} cached, {self.executed} executed, "
-            f"jobs={self.jobs}) in {self.elapsed:.2f}s"
+            f"({self.cache_hits} cached, {executed}, "
+            f"jobs={self.jobs}, backend={self.backend}) in {self.elapsed:.2f}s"
         )
+        if self.host_counts:
+            per_host = " ".join(
+                f"{host}={count}" for host, count in sorted(self.host_counts.items())
+            )
+            text += f" [hosts: {per_host}]"
+        return text
 
 
 def run_experiment(
@@ -50,6 +86,9 @@ def run_experiment(
     overrides: Optional[dict] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    backend: Union[str, Backend, None] = None,
+    hosts: Optional[Union[str, list]] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
 ) -> SweepReport:
     """Run one experiment's full grid; returns the reduced result + stats.
 
@@ -57,6 +96,12 @@ def run_experiment(
     ...); unknown keys are dropped per-grid so one scale profile can be
     applied across heterogeneous experiments.  ``cache=None`` disables
     caching; pass a :class:`ResultCache` to reuse/populate entries.
+
+    ``backend`` selects where cache-missing points execute: a name
+    (``"local"``, ``"ssh"``, ``"inprocess"``) resolved via
+    :func:`repro.experiments.backends.create_backend` (``hosts`` feeds
+    the SSH roster), or a ready :class:`Backend` instance, which the
+    caller keeps ownership of (it is not shut down here).
     """
     exp = registry.get(experiment) if isinstance(experiment, str) else experiment
     start = time.perf_counter()
@@ -78,22 +123,21 @@ def run_experiment(
         else:
             pending.append(i)
 
+    host_counts: dict = {}
+    retries = 0
     if pending:
-        if jobs <= 1 or len(pending) == 1:
-            for i in pending:
-                results[i] = exp.point(grid[i])
-        else:
-            # exp.point is a module-level function, so it pickles by
-            # reference; unpickling it in a worker imports its module,
-            # which re-populates the registry there as a side effect.
-            workers = min(jobs, len(pending), os.cpu_count() or 1)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                mapped = pool.map(exp.point, [grid[i] for i in pending])
-                for i, value in zip(pending, mapped):
-                    results[i] = value
-        if cache is not None:
-            for i in pending:
-                cache.put(exp.name, grid[i], results[i])
+        borrowed = isinstance(backend, Backend)
+        resolved = create_backend(backend, jobs=jobs, hosts=hosts)
+        try:
+            retries = _execute_pending(
+                resolved, exp, grid, pending, results, cache, host_counts, max_retries
+            )
+        finally:
+            if not borrowed:
+                resolved.shutdown()
+        backend_name = resolved.name
+    else:
+        backend_name = backend.name if isinstance(backend, Backend) else (backend or "local")
 
     reduced = exp.reduce(grid, results)
     return SweepReport(
@@ -105,7 +149,97 @@ def run_experiment(
         executed=len(pending),
         jobs=jobs,
         elapsed=time.perf_counter() - start,
+        backend=backend_name,
+        host_counts=host_counts,
+        retries=retries,
     )
+
+
+def _execute_pending(
+    backend: Backend,
+    exp: Experiment,
+    grid: list,
+    pending: list,
+    results: list,
+    cache: Optional[ResultCache],
+    host_counts: dict,
+    max_retries: int,
+) -> int:
+    """Fan ``pending`` grid indices out over ``backend`` with retry.
+
+    Completed values land in ``results`` and the cache *immediately*, so
+    an aborted sweep resumes from exactly where it failed.  Returns the
+    number of worker-loss resubmissions.
+    """
+    def submit(i: int):
+        return backend.submit(PointTask(experiment=exp.name, params=grid[i], fn=exp.point))
+
+    backend.prepare(len(pending))
+    in_flight: dict = {}
+    attempts = dict.fromkeys(pending, 1)
+    retries = 0
+    failure: Optional[BaseException] = None
+
+    def complete(future, i: int) -> None:
+        """Record one finished future: store+cache a value, or requeue a loss."""
+        nonlocal retries, failure
+        try:
+            outcome = future.result()
+        except WorkerLostError as loss:
+            if failure is not None:
+                return  # already aborting; don't resubmit
+            if attempts[i] > max_retries:
+                error = SweepError(
+                    f"grid point {i} of {exp.name!r} failed "
+                    f"{attempts[i]} times (last host: {loss.host}); "
+                    f"giving up after max_retries={max_retries}"
+                )
+                error.__cause__ = loss
+                failure = error
+                return
+            attempts[i] += 1
+            retries += 1
+            in_flight[submit(i)] = i
+            return
+        except BaseException as exc:  # noqa: BLE001 - non-retryable, re-raised below
+            if failure is None:
+                failure = exc
+            return
+        results[i] = outcome.value
+        host_counts[outcome.host] = host_counts.get(outcome.host, 0) + 1
+        if cache is not None:
+            cache.put(exp.name, grid[i], outcome.value)
+            cache.record(exp.name, grid[i], host=outcome.host, elapsed=outcome.elapsed)
+
+    try:
+        for i in pending:
+            if failure is not None:
+                break  # fail fast: don't schedule points past a fatal error
+            future = submit(i)
+            if future.done():
+                # synchronous backends (inline local, in-process) resolve at
+                # submit time; handling them here preserves serial fail-fast
+                complete(future, i)
+            else:
+                in_flight[future] = i
+        while in_flight and failure is None:
+            done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+            for future in done:
+                complete(future, in_flight.pop(future))
+        if failure is not None:
+            # stop scheduling, but harvest every point that did finish --
+            # with streaming cache writes, a re-run resumes from here
+            for future in list(in_flight):
+                future.cancel()
+            for future, i in list(in_flight.items()):
+                if future.done() and not future.cancelled():
+                    complete(future, i)
+            raise failure
+    except BaseException:
+        for future in in_flight:
+            future.cancel()
+        raise
+    return retries
 
 
 def run_grid_inline(experiment: Experiment, jobs: int = 1, **grid_kwargs):

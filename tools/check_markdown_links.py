@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (CI `docs` job + tier-1).
+
+Validates, for every given markdown file (or every ``*.md`` under a
+given directory):
+
+* relative links point at files/directories that exist (``#anchor``
+  suffixes are stripped; pure in-page ``#anchor`` links are accepted);
+* intra-repo absolute links are rejected (they break on GitHub);
+* fenced code blocks are balanced (an unclosed fence swallows the rest
+  of the page, mermaid diagrams included).
+
+External ``http(s)``/``mailto`` links are *not* fetched -- CI must not
+fail on somebody else's outage.
+
+Usage::
+
+    python tools/check_markdown_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) -- excluding images' preceding "!" is unnecessary: image
+# targets must resolve too.  Nested parens in URLs don't occur in this repo.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_markdown(paths: list) -> list:
+    files = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list:
+    """Return a list of human-readable problems in one markdown file."""
+    problems = []
+    if not path.is_file():
+        return [f"{path}: file does not exist"]
+    text = path.read_text(encoding="utf-8")
+
+    fences = sum(1 for line in text.splitlines() if line.lstrip().startswith("```"))
+    if fences % 2:
+        problems.append(f"{path}: unbalanced ``` code fences ({fences} markers)")
+
+    # links inside code fences are illustrative, not navigation: drop them
+    prose = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in _LINK.finditer(prose):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        if target.startswith("/"):
+            problems.append(f"{path}: absolute link {target!r} breaks on GitHub")
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target!r} -> {resolved}")
+    return problems
+
+
+def main(argv: list) -> int:
+    paths = argv or ["README.md", "docs"]
+    files = iter_markdown(paths)
+    if not files:
+        print(f"check_markdown_links: no markdown files under {paths}", file=sys.stderr)
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"check_markdown_links: {len(files)} files, {len(problems)} problems")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
