@@ -17,9 +17,17 @@ Paper sweeps run through the parallel experiment engine::
     repro sweep fig6-fig7 --scale tiny --no-cache
     repro sweep fig8 --set delays_min=[5,15]
     repro sweep table1 --backend ssh --hosts nodeA,nodeB:4
+    repro sweep fig9 --backend slurm --sbatch-opt=--partition=short
+
+Federation cache sync moves finished results between sites::
+
+    repro cache export siteA.tar.gz
+    repro cache import siteA.tar.gz          # at site B
+    repro cache merge /mnt/siteA-cache ~/.cache/hc3i-repro
 
 See ``docs/sweeps.md`` for the sweep-engine guide (scales, caching,
-multi-host execution) and ``docs/architecture.md`` for the module map.
+multi-host execution, batch schedulers, cache sync) and
+``docs/architecture.md`` for the module map.
 """
 
 from __future__ import annotations
@@ -36,7 +44,7 @@ from repro.config.loader import ScenarioConfig, load_scenario
 from repro.core.protocol import protocol_names
 from repro.sim.trace import TraceLevel
 
-__all__ = ["main", "build_parser", "build_sweep_parser"]
+__all__ = ["main", "build_parser", "build_sweep_parser", "build_cache_parser"]
 
 #: grid overrides per --scale profile ("full" = the grids' paper defaults)
 SCALE_PROFILES = {
@@ -238,11 +246,11 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=["local", "ssh"],
+        choices=["local", "ssh", "slurm"],
         default="local",
         help=(
-            "where cache-missing points execute: 'local' (process pool, default) "
-            "or 'ssh' (fan out to --hosts)"
+            "where cache-missing points execute: 'local' (process pool, default), "
+            "'ssh' (fan out to --hosts) or 'slurm' (sbatch array jobs)"
         ),
     )
     parser.add_argument(
@@ -251,6 +259,25 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help=(
             "ssh backend roster: comma list ('nodeA,nodeB:4', ':N' = concurrent "
             "slots) or a hosts.toml path (see docs/sweeps.md)"
+        ),
+    )
+    parser.add_argument(
+        "--spool",
+        default=None,
+        help=(
+            "slurm backend spool directory, visible to submit and compute nodes "
+            "(default: $REPRO_SLURM_SPOOL or <cache dir>/slurm-spool)"
+        ),
+    )
+    parser.add_argument(
+        "--sbatch-opt",
+        dest="sbatch_opts",
+        action="append",
+        default=[],
+        metavar="OPT",
+        help=(
+            "extra #SBATCH line for slurm array jobs (repeatable), e.g. "
+            "--sbatch-opt=--partition=short --sbatch-opt=--time=30"
         ),
     )
     parser.add_argument(
@@ -293,8 +320,28 @@ def _sweep_main(argv: Sequence[str]) -> int:
         raise SystemExit(
             f"--hosts only applies to --backend ssh (got --backend {args.backend})"
         )
+    if (args.spool or args.sbatch_opts) and args.backend != "slurm":
+        raise SystemExit(
+            f"--spool/--sbatch-opt only apply to --backend slurm "
+            f"(got --backend {args.backend})"
+        )
+    backend_kwargs: dict = {}
+    if args.backend == "slurm":
+        if args.spool:
+            backend_kwargs["spool"] = args.spool
+        elif args.cache_dir:
+            # keep the promise of "<cache dir>/slurm-spool": an explicit
+            # --cache-dir (often the cluster-shared filesystem) carries the
+            # spool with it
+            from pathlib import Path
+
+            backend_kwargs["spool"] = Path(args.cache_dir) / "slurm-spool"
+        backend_kwargs["sbatch_options"] = tuple(args.sbatch_opts)
+        backend_kwargs["python"] = sys.executable
     try:
-        backend = create_backend(args.backend, jobs=args.jobs, hosts=args.hosts)
+        backend = create_backend(
+            args.backend, jobs=args.jobs, hosts=args.hosts, **backend_kwargs
+        )
     except ValueError as exc:
         raise SystemExit(f"repro sweep: {exc}") from None
     try:
@@ -334,6 +381,87 @@ def _sweep_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description=(
+            "Federation cache sync: move result-cache entries between sites "
+            "with their provenance journal."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    export = sub.add_parser(
+        "export", help="pack the local cache into a portable .tar.gz archive"
+    )
+    export.add_argument("archive", help="archive path to write (.tar.gz)")
+    export.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache to export (default: $REPRO_CACHE_DIR or ~/.cache/hc3i-repro)",
+    )
+
+    imp = sub.add_parser(
+        "import", help="import an exported archive (or another cache dir)"
+    )
+    imp.add_argument("source", help="archive file or cache directory to import")
+    imp.add_argument(
+        "--cache-dir",
+        default=None,
+        help="destination cache (default: $REPRO_CACHE_DIR or ~/.cache/hc3i-repro)",
+    )
+    imp.add_argument(
+        "--allow-mismatch",
+        action="store_true",
+        help=(
+            "also import entries computed under different repro sources "
+            "(content-addressed, so they stay inert until the code matches)"
+        ),
+    )
+
+    merge = sub.add_parser("merge", help="merge one cache directory into another")
+    merge.add_argument("source", help="source cache directory")
+    merge.add_argument("dest", help="destination cache directory")
+    merge.add_argument(
+        "--allow-mismatch",
+        action="store_true",
+        help="also merge entries computed under different repro sources",
+    )
+    return parser
+
+
+def _cache_main(argv: Sequence[str]) -> int:
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.cache_sync import (
+        CacheSyncError,
+        export_cache,
+        import_cache,
+        merge_caches,
+    )
+
+    args = build_cache_parser().parse_args(argv)
+    try:
+        if args.command == "export":
+            report = export_cache(ResultCache(root=args.cache_dir), args.archive)
+        elif args.command == "import":
+            report = import_cache(
+                ResultCache(root=args.cache_dir),
+                args.source,
+                allow_mismatch=args.allow_mismatch,
+            )
+        else:
+            report = merge_caches(
+                args.source, args.dest, allow_mismatch=args.allow_mismatch
+            )
+    except CacheSyncError as exc:
+        raise SystemExit(f"repro cache: {exc}") from None
+    print(report.summary())
+    if report.mismatched_keys:
+        sample = ", ".join(key[:12] + "..." for key in report.mismatched_keys)
+        print(f"[cache {report.operation}] mismatched keys (sample): {sample}")
+    return 0
+
+
 def _load(args: argparse.Namespace) -> ScenarioConfig:
     if args.scenario:
         return load_scenario(args.scenario, args.scenario, args.scenario)
@@ -348,6 +476,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment:
         return _run_experiment(args.experiment, args.scale)

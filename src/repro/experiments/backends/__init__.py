@@ -10,6 +10,10 @@ pluggable policy behind the :class:`Backend` protocol:
 * ``ssh`` (:class:`SSHBackend`) -- fans cache-missing points out to a
   roster of hosts (``--hosts nodeA,nodeB:4`` or a ``hosts.toml``) via
   ``ssh host python -m repro.experiments.remote_worker``.
+* ``slurm`` (:class:`SlurmBackend`) -- batches points into SLURM array
+  jobs submitted through ``sbatch`` and polled via ``squeue``/``sacct``
+  (pluggable :class:`SchedulerTransport`; results spool through a shared
+  directory).
 * ``inprocess`` (:class:`InProcessBackend`) -- synchronous test double
   with fake hosts and fault injection.
 
@@ -34,6 +38,7 @@ from repro.experiments.backends.base import (
 )
 from repro.experiments.backends.hosts import HostSpec, parse_hosts
 from repro.experiments.backends.local import InProcessBackend, LocalProcessBackend
+from repro.experiments.backends.slurm import SchedulerTransport, SlurmBackend, SlurmCliTransport
 from repro.experiments.backends.ssh import SSHBackend
 
 __all__ = [
@@ -47,6 +52,9 @@ __all__ = [
     "PointTask",
     "RemoteCodeMismatchError",
     "RemotePointError",
+    "SchedulerTransport",
+    "SlurmBackend",
+    "SlurmCliTransport",
     "SSHBackend",
     "WorkerLostError",
     "create_backend",
@@ -54,7 +62,7 @@ __all__ = [
 ]
 
 #: names accepted by ``--backend`` / :func:`create_backend`
-BACKEND_NAMES = ("local", "ssh", "inprocess")
+BACKEND_NAMES = ("local", "ssh", "slurm", "inprocess")
 
 
 def create_backend(
@@ -82,6 +90,8 @@ def create_backend(
             raise ValueError("--backend ssh requires --hosts (comma list or hosts.toml)")
         roster = parse_hosts(hosts) if isinstance(hosts, str) else list(hosts)
         return SSHBackend(roster, **kwargs)
+    if name == "slurm":
+        return SlurmBackend(**kwargs)
     raise ValueError(
         f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}"
     )

@@ -140,9 +140,20 @@ class Backend(abc.ABC):
         by default.
         """
 
+    def flush(self) -> None:
+        """Optional hint: no more submissions are imminent.
+
+        Batching backends (SLURM array jobs) buffer submitted tasks
+        briefly to group them into one scheduler job; the runner calls
+        this after each submission burst so buffered tasks are dispatched
+        immediately instead of waiting out the linger window.  No-op by
+        default.
+        """
+
     def map_grid(self, tasks: Iterable[PointTask]) -> list:
         """Run every task, returning outcomes in task order (no retry)."""
         futures = [self.submit(task) for task in tasks]
+        self.flush()
         return [future.result() for future in futures]
 
     def shutdown(self) -> None:
@@ -179,3 +190,9 @@ def resolve_future(future: Future, compute: Callable[[], PointOutcome]) -> None:
         future.set_exception(exc)
     else:
         future.set_result(outcome)
+
+
+def tail_text(blob: bytes, limit: int = 300) -> str:
+    """The last ``limit`` characters of a subprocess stream, for error messages."""
+    text = blob.decode(errors="replace").strip()
+    return text[-limit:] if len(text) > limit else text

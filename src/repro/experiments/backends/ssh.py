@@ -27,10 +27,8 @@ itself implies).
 
 from __future__ import annotations
 
-import base64
 import json
 import os
-import pickle
 import shlex
 import subprocess
 import threading
@@ -43,13 +41,12 @@ from repro.experiments.backends.base import (
     BackendUnavailableError,
     PointOutcome,
     PointTask,
-    RemoteCodeMismatchError,
-    RemotePointError,
     WorkerLostError,
     _HostState,
+    tail_text as _tail,
 )
 from repro.experiments.backends.hosts import HostSpec
-from repro.experiments.cache import code_version_hash
+from repro.experiments.remote_worker import decode_envelope, make_wire_job
 
 __all__ = ["SSHBackend", "DEFAULT_SSH_COMMAND", "default_ssh_command"]
 
@@ -158,13 +155,7 @@ class SSHBackend(Backend):
         return outcome
 
     def _execute(self, spec: HostSpec, task: PointTask) -> PointOutcome:
-        job = json.dumps(
-            {
-                "experiment": task.experiment,
-                "params": task.params,
-                "code_hash": code_version_hash(),
-            }
-        )
+        job = json.dumps(make_wire_job(task.experiment, task.params))
         argv = [*self.ssh_command, spec.name, _remote_command(spec)]
         start = time.perf_counter()
         try:
@@ -192,25 +183,7 @@ class SSHBackend(Backend):
             raise WorkerLostError(
                 spec.name, f"truncated/garbled result stream: {_tail(proc.stdout)}"
             ) from None
-        # check code skew before interpreting the outcome: a stale host's
-        # point error (e.g. "unknown experiment") is really a sync problem,
-        # and diagnosing it as RemotePointError would mislead the operator
-        if self.verify_code and "code_hash" in envelope:
-            local, remote = code_version_hash(), str(envelope["code_hash"])
-            if remote != local:
-                raise RemoteCodeMismatchError(spec.name, local, remote)
-        if not envelope.get("ok"):
-            raise RemotePointError(
-                spec.name,
-                str(envelope.get("error", "unknown error")),
-                str(envelope.get("traceback", "")),
-            )
-        if self.verify_code and "code_hash" not in envelope:
-            raise RemoteCodeMismatchError(spec.name, code_version_hash(), "(missing)")
-        try:
-            value = pickle.loads(base64.b64decode(envelope["pickle"]))
-        except Exception as exc:  # noqa: BLE001 - any decode failure is transport-level
-            raise WorkerLostError(spec.name, f"undecodable result payload: {exc}") from None
+        value = decode_envelope(envelope, spec.name, verify_code=self.verify_code)
         return PointOutcome(value=value, host=spec.name, elapsed=elapsed)
 
     def shutdown(self) -> None:
@@ -238,6 +211,3 @@ def _remote_command(spec: HostSpec) -> str:
     return " ".join(parts)
 
 
-def _tail(blob: bytes, limit: int = 300) -> str:
-    text = blob.decode(errors="replace").strip()
-    return text[-limit:] if len(text) > limit else text

@@ -35,6 +35,11 @@ import time
 from pathlib import Path
 from typing import Optional
 
+try:  # POSIX advisory locking for the shared provenance journal
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
 __all__ = ["ResultCache", "code_version_hash", "default_cache_dir"]
 
 _ENV_VAR = "REPRO_CACHE_DIR"
@@ -132,24 +137,45 @@ class ResultCache:
         """Append one provenance line: who computed this entry, and how long it took.
 
         Best-effort and append-only; the journal is documentation, never
-        consulted for lookups, so journal I/O errors are swallowed.
+        consulted for lookups, so journal I/O errors are swallowed.  The
+        ``code`` field records which source version produced the entry --
+        that is what lets federation cache sync verify entries it moves.
         """
-        if not self.enabled:
-            return
-        line = json.dumps(
-            {
-                "time": time.time(),
-                "experiment": experiment,
-                "key": self.key(experiment, params),
-                "host": host,
-                "elapsed": round(elapsed, 6),
-            },
-            sort_keys=True,
+        self.journal_append(
+            [
+                {
+                    "time": time.time(),
+                    "experiment": experiment,
+                    "key": self.key(experiment, params),
+                    "host": host,
+                    "elapsed": round(elapsed, 6),
+                    "code": self.code_hash,
+                }
+            ]
         )
+
+    def journal_append(self, entries: list) -> None:
+        """Append entry dicts as journal lines, safely against concurrent writers.
+
+        Two sweeps (or two federation sites syncing into one shared cache
+        dir) may append concurrently; an exclusive ``flock`` plus a single
+        ``write`` per batch keeps lines from interleaving mid-record.
+        Best-effort like :meth:`record`: I/O errors are swallowed.
+        """
+        if not self.enabled or not entries:
+            return
+        blob = "".join(json.dumps(e, sort_keys=True) + "\n" for e in entries)
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             with open(self.journal_path, "a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                try:
+                    fh.write(blob)
+                    fh.flush()
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
         except OSError:
             pass
 
@@ -158,18 +184,27 @@ class ResultCache:
         return self.root / "journal.jsonl"
 
     def journal_entries(self) -> list:
-        """Parsed provenance journal, oldest first (skips torn lines)."""
-        entries = []
+        """Parsed provenance journal, oldest first.
+
+        Tolerates damage from unlocked/foreign appenders (an rsync'd
+        journal, a writer without :meth:`journal_append`'s lock): torn
+        lines are skipped and multiple records interleaved onto one
+        physical line are each recovered.
+        """
         try:
-            with open(self.journal_path, encoding="utf-8") as fh:
-                for raw in fh:
-                    try:
-                        entries.append(json.loads(raw))
-                    except json.JSONDecodeError:
-                        continue
+            text = self.journal_path.read_text(encoding="utf-8")
         except OSError:
             return []
-        return entries
+        return _parse_journal_text(text)
+
+    def journal_by_key(self) -> dict:
+        """Latest journal entry per cache key (for provenance lookups)."""
+        by_key: dict = {}
+        for entry in self.journal_entries():
+            key = entry.get("key")
+            if isinstance(key, str):
+                by_key[key] = entry
+        return by_key
 
     def clear(self) -> int:
         """Remove every entry; returns the number of files removed."""
@@ -184,3 +219,30 @@ class ResultCache:
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.rglob("*.pkl"))
+
+
+def _parse_journal_text(text: str) -> list:
+    """Recover every intact JSON record from journal text, oldest first.
+
+    A well-behaved journal is one object per line, but concurrent
+    appenders without the lock can concatenate records onto one line or
+    tear a record across a crash.  Scan each physical line for *every*
+    decodable object; undecodable fragments are skipped.
+    """
+    decoder = json.JSONDecoder()
+    entries = []
+    for raw in text.splitlines():
+        pos = 0
+        while True:
+            brace = raw.find("{", pos)
+            if brace < 0:
+                break
+            try:
+                obj, end = decoder.raw_decode(raw, brace)
+            except json.JSONDecodeError:
+                pos = brace + 1
+                continue
+            if isinstance(obj, dict):
+                entries.append(obj)
+            pos = end
+    return entries

@@ -153,8 +153,10 @@ def canonical_params(params: dict) -> dict:
     """Validate that a grid point round-trips through JSON and return it.
 
     Grid points become cache keys *and* travel as self-contained JSON
-    jobs to remote workers, so lossless serialization is a hard
-    requirement, not a convention.  Tuples are normalized to lists (JSON
+    wire jobs to remote workers -- piped over SSH or spooled to disk for
+    SLURM array tasks (:func:`repro.experiments.remote_worker.make_wire_job`)
+    -- so lossless serialization is a hard requirement, not a
+    convention.  Tuples are normalized to lists (JSON
     has no tuples); anything else that decodes differently than it was
     written -- non-string dict keys (``{1: ...}`` silently becomes
     ``{"1": ...}``), non-finite floats -- is rejected here, at grid-build

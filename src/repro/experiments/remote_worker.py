@@ -1,14 +1,18 @@
-"""Stdin/stdout worker for the SSH backend: run one grid point, emit JSON.
+"""Stdin/stdout worker for the distributed backends: run one grid point, emit JSON.
 
-Invoked on a remote host as::
+This module *owns the wire format* shared by every distributed backend:
+the SSH backend pipes a job over ``ssh <host> python -m
+repro.experiments.remote_worker``; the SLURM backend writes the same job
+to a spool file and an array task runs the same command with stdin/stdout
+redirected.  Build jobs with :func:`make_wire_job` and interpret
+responses with :func:`decode_envelope` so every backend applies the same
+code-hash handshake and failure taxonomy.
 
-    python -m repro.experiments.remote_worker
-
-with one JSON job object on stdin::
+A job is one JSON object::
 
     {"experiment": "fig8", "params": {...}, "code_hash": "<submitter's hash>"}
 
-and exactly one JSON envelope on stdout.  Success::
+and the response is exactly one JSON envelope.  Success::
 
     {"ok": true, "code_hash": "<this host's hash>",
      "elapsed": 1.23, "pickle": "<base64 pickled point value>"}
@@ -47,7 +51,52 @@ from typing import Optional
 from repro.experiments import registry
 from repro.experiments.cache import code_version_hash
 
-__all__ = ["main", "run_job"]
+__all__ = ["decode_envelope", "main", "make_wire_job", "run_job"]
+
+
+def make_wire_job(experiment: str, params: dict) -> dict:
+    """The self-contained job object a worker consumes, handshake included."""
+    return {
+        "experiment": experiment,
+        "params": params,
+        "code_hash": code_version_hash(),
+    }
+
+
+def decode_envelope(envelope: dict, host: str, verify_code: bool = True):
+    """Interpret one response envelope; returns the point value.
+
+    Applies the shared failure taxonomy: code skew raises
+    :class:`~repro.experiments.backends.base.RemoteCodeMismatchError`
+    (checked *before* ``ok`` -- a stale host's point error is really a
+    sync problem), a reported point failure raises
+    :class:`~repro.experiments.backends.base.RemotePointError` (not
+    retryable), and an undecodable payload raises
+    :class:`~repro.experiments.backends.base.WorkerLostError` (retryable
+    transport damage).
+    """
+    from repro.experiments.backends.base import (
+        RemoteCodeMismatchError,
+        RemotePointError,
+        WorkerLostError,
+    )
+
+    if verify_code and "code_hash" in envelope:
+        local, remote = code_version_hash(), str(envelope["code_hash"])
+        if remote != local:
+            raise RemoteCodeMismatchError(host, local, remote)
+    if not envelope.get("ok"):
+        raise RemotePointError(
+            host,
+            str(envelope.get("error", "unknown error")),
+            str(envelope.get("traceback", "")),
+        )
+    if verify_code and "code_hash" not in envelope:
+        raise RemoteCodeMismatchError(host, code_version_hash(), "(missing)")
+    try:
+        return pickle.loads(base64.b64decode(envelope["pickle"]))
+    except Exception as exc:  # noqa: BLE001 - any decode failure is transport-level
+        raise WorkerLostError(host, f"undecodable result payload: {exc}") from None
 
 
 def run_job(job: dict) -> dict:

@@ -222,10 +222,12 @@ def _execute_pending(
                 complete(future, i)
             else:
                 in_flight[future] = i
+        backend.flush()  # batching backends: the submission burst is over
         while in_flight and failure is None:
             done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
             for future in done:
                 complete(future, in_flight.pop(future))
+            backend.flush()  # dispatch any resubmissions as one batch
         if failure is not None:
             # stop scheduling, but harvest every point that did finish --
             # with streaming cache writes, a re-run resumes from here

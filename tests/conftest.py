@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cluster.federation import Federation
@@ -91,6 +95,100 @@ def make_federation(
         seed=seed,
         trace_level=trace,
         app_factory=app_factory,
+    )
+
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture
+def stub_ssh(tmp_path):
+    """A stand-in for ``ssh``: ignores options/host, runs the command locally.
+
+    Hosts named ``dead*`` refuse the connection (exit 255), so tests can
+    kill a fake remote worker without an sshd anywhere.
+    """
+    script = tmp_path / "stub-ssh.py"
+    script.write_text(
+        "#!/usr/bin/env python3\n"
+        "import subprocess, sys\n"
+        "host, command = sys.argv[-2], sys.argv[-1]\n"
+        "if host.startswith('dead'):\n"
+        "    print('stub-ssh: connection refused', file=sys.stderr)\n"
+        "    sys.exit(255)\n"
+        "sys.exit(subprocess.call(command, shell=True))\n"
+    )
+    return (sys.executable, str(script))
+
+
+def loopback_spec(name: str = "loopback", slots: int = 2):
+    """A host that works through the stub transport: this repo, this python."""
+    from repro.experiments.backends import HostSpec
+
+    return HostSpec(
+        name=name,
+        slots=slots,
+        python=sys.executable,
+        cwd=str(REPO_ROOT),
+        pythonpath="src",
+    )
+
+
+class InMemorySlurmTransport:
+    """A :class:`SchedulerTransport` that runs array tasks in-process.
+
+    ``sbatch`` is simulated at submit time: each task's wire job is read
+    from the spool, executed through the real ``remote_worker.run_job``,
+    and its envelope written where the array task would have written it.
+    ``fault(job_seq, index, job) -> state | None`` injects scheduler-level
+    failures: returning a SLURM state string (e.g. ``"CANCELLED"``) kills
+    that task -- terminal state recorded, no result file -- exactly what
+    an operator's ``scancel`` mid-sweep looks like to the backend.
+    """
+
+    def __init__(self, fault=None) -> None:
+        self.fault = fault
+        self.seq = 0
+        self.jobs: dict = {}
+        self.job_dirs: dict = {}
+        self.cancelled: list = []
+
+    def submit(self, job_dir, script, n_tasks) -> str:
+        from repro.experiments.remote_worker import run_job
+
+        self.seq += 1
+        job_id = str(self.seq)
+        states = {}
+        for i in range(n_tasks):
+            job = json.loads((job_dir / "tasks" / f"{i}.json").read_text())
+            verdict = self.fault(self.seq, i, job) if self.fault else None
+            if verdict:
+                states[i] = verdict
+                continue
+            envelope = run_job(job)
+            (job_dir / "results" / f"{i}.json").write_text(json.dumps(envelope))
+            states[i] = "COMPLETED"
+        self.jobs[job_id] = states
+        self.job_dirs[job_id] = job_dir
+        return job_id
+
+    def poll(self, job_id: str) -> dict:
+        return dict(self.jobs.get(job_id, {}))
+
+    def cancel(self, job_id: str) -> None:
+        self.cancelled.append(job_id)
+
+
+def make_slurm_backend(spool, transport=None, **kwargs):
+    """A fast-polling :class:`SlurmBackend` over the in-memory transport."""
+    from repro.experiments.backends import SlurmBackend
+
+    kwargs.setdefault("linger", 0.01)
+    kwargs.setdefault("poll_interval", 0.01)
+    return SlurmBackend(
+        transport=transport if transport is not None else InMemorySlurmTransport(),
+        spool=Path(spool),
+        **kwargs,
     )
 
 

@@ -38,40 +38,10 @@ from repro.experiments.registry import canonical_params
 from repro.experiments.remote_worker import run_job
 from repro.experiments.runner import SweepError, run_experiment
 
-REPO_ROOT = Path(__file__).resolve().parents[1]
+from conftest import REPO_ROOT, loopback_spec
+
 TINY = {"nodes": 4, "total_time": 1800.0}
 FIG67_TINY = {"delays_min": [5, 15], **TINY, "seed": 2}
-
-
-@pytest.fixture
-def stub_ssh(tmp_path):
-    """A stand-in for ``ssh``: ignores options/host, runs the command locally.
-
-    Hosts named ``dead*`` refuse the connection (exit 255), so tests can
-    kill a fake remote worker without an sshd anywhere.
-    """
-    script = tmp_path / "stub-ssh.py"
-    script.write_text(
-        "#!/usr/bin/env python3\n"
-        "import subprocess, sys\n"
-        "host, command = sys.argv[-2], sys.argv[-1]\n"
-        "if host.startswith('dead'):\n"
-        "    print('stub-ssh: connection refused', file=sys.stderr)\n"
-        "    sys.exit(255)\n"
-        "sys.exit(subprocess.call(command, shell=True))\n"
-    )
-    return (sys.executable, str(script))
-
-
-def loopback_spec(name: str = "loopback", slots: int = 2) -> HostSpec:
-    """A host that works through the stub transport: this repo, this python."""
-    return HostSpec(
-        name=name,
-        slots=slots,
-        python=sys.executable,
-        cwd=str(REPO_ROOT),
-        pythonpath="src",
-    )
 
 
 class TestGridPointsAreWireSafe:
@@ -149,9 +119,14 @@ class TestCreateBackend:
         with pytest.raises(ValueError, match="--hosts"):
             create_backend("ssh")
 
+    def test_slurm_is_a_registered_backend(self, tmp_path):
+        backend = create_backend("slurm", spool=tmp_path)
+        assert backend.name == "slurm"
+        backend.shutdown()
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
-            create_backend("slurm")
+            create_backend("k8s")
 
 
 class TestInProcessBackend:

@@ -4,9 +4,14 @@ Eight clusters, chatty traffic, distributed garbage collection, transitive
 DDV tracking, degree-2 replication, heartbeat detection, MTBF-driven
 simultaneous faults -- the protocol must stay consistent and every cluster
 must end the run healthy.
+
+These are the suite's longest simulations, so the whole module is in the
+slow lane (run ``-m "not slow"`` for the fast smoke pass).
 """
 
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro.analysis.consistency import check_invariants, verify_consistency
 from repro.cluster.federation import Federation

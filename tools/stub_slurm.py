@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""A miniature SLURM for tests and CI: no daemon, no cluster, same CLI shape.
+
+Point ``$REPRO_SLURM_COMMAND`` at this script (plus an interpreter) and
+the sweep engine's :class:`SlurmCliTransport` drives it exactly as it
+would a real scheduler::
+
+    export REPRO_SLURM_STUB_STATE=/tmp/stub-slurm.json
+    export REPRO_SLURM_COMMAND="python tools/stub_slurm.py"
+    repro sweep table1 --backend slurm --spool /tmp/spool
+
+Implemented subcommands (the subset the transport uses):
+
+* ``sbatch --parsable <script>`` -- parses ``#SBATCH --array=0-N`` out of
+  the script and runs every array task *synchronously* via ``bash`` with
+  ``SLURM_ARRAY_TASK_ID`` set, then prints the new job id.  Each task's
+  exit status becomes its terminal state.
+* ``squeue -h -j <id> -o ...`` -- prints nothing (tasks never linger in
+  the queue: execution is synchronous).
+* ``sacct -n -P -X -j <id> -o JobID,State`` -- prints ``<id>_<i>|STATE``
+  lines from the recorded states.
+* ``scancel <id>`` -- no-op.
+
+Job states persist in the JSON file named by ``$REPRO_SLURM_STUB_STATE``
+so that separate ``sbatch``/``sacct`` invocations (separate processes)
+share them.  Fault injection: set ``$REPRO_SLURM_STUB_KILL`` to a
+comma list of ``jobid:taskid`` pairs (1-based job ids as this stub
+assigns them) and those tasks are *not* executed -- they are recorded
+``CANCELLED`` with no result file, exactly what an operator's ``scancel``
+mid-sweep looks like to the backend.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+
+def _state_path() -> str:
+    path = os.environ.get("REPRO_SLURM_STUB_STATE")
+    if not path:
+        print("stub_slurm: REPRO_SLURM_STUB_STATE is not set", file=sys.stderr)
+        sys.exit(2)
+    return path
+
+
+def _load() -> dict:
+    try:
+        with open(_state_path(), encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {"next_id": 1, "jobs": {}}
+
+
+def _save(state: dict) -> None:
+    with open(_state_path(), "w", encoding="utf-8") as fh:
+        json.dump(state, fh)
+
+
+def _killed_tasks() -> set:
+    pairs = set()
+    for chunk in os.environ.get("REPRO_SLURM_STUB_KILL", "").split(","):
+        chunk = chunk.strip()
+        if chunk:
+            pairs.add(chunk)
+    return pairs
+
+
+def _sbatch(argv: list) -> int:
+    script = argv[-1]
+    try:
+        text = open(script, encoding="utf-8").read()
+    except OSError as exc:
+        print(f"sbatch: cannot read {script}: {exc}", file=sys.stderr)
+        return 1
+    match = re.search(r"^#SBATCH --array=0-(\d+)\s*$", text, re.MULTILINE)
+    if not match:
+        print(f"sbatch: no #SBATCH --array directive in {script}", file=sys.stderr)
+        return 1
+    n_tasks = int(match.group(1)) + 1
+    state = _load()
+    job_id = str(state["next_id"])
+    state["next_id"] += 1
+    killed = _killed_tasks()
+    states = {}
+    for i in range(n_tasks):
+        if f"{job_id}:{i}" in killed:
+            states[str(i)] = "CANCELLED"
+            continue
+        env = dict(os.environ, SLURM_ARRAY_TASK_ID=str(i))
+        rc = subprocess.call(["bash", script], env=env)
+        states[str(i)] = "COMPLETED" if rc == 0 else "FAILED"
+    state["jobs"][job_id] = states
+    _save(state)
+    print(job_id)
+    return 0
+
+
+def _sacct(argv: list) -> int:
+    try:
+        job_id = argv[argv.index("-j") + 1]
+    except (ValueError, IndexError):
+        print("sacct: missing -j <jobid>", file=sys.stderr)
+        return 1
+    for idx, task_state in sorted(
+        _load()["jobs"].get(job_id, {}).items(), key=lambda kv: int(kv[0])
+    ):
+        print(f"{job_id}_{idx}|{task_state}")
+    return 0
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("stub_slurm: expected sbatch/squeue/sacct/scancel", file=sys.stderr)
+        return 2
+    command, rest = argv[0], argv[1:]
+    if command == "sbatch":
+        return _sbatch(rest)
+    if command == "squeue":
+        return 0  # synchronous execution: nothing is ever queued
+    if command == "sacct":
+        return _sacct(rest)
+    if command == "scancel":
+        return 0
+    print(f"stub_slurm: unknown command {command!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
