@@ -1,0 +1,171 @@
+"""FROZEN pre-rewrite kernel (PR 4 baseline) -- benchmark reference ONLY.
+
+This is a verbatim snapshot of ``src/repro/sim/kernel.py`` as of commit
+89bd73f (before the fast-path rewrite): per-event ``Event`` objects with
+Python-level ``__lt__`` heap dispatch, O(n) ``pending``, and a
+``peek()``/``step()`` run loop.  ``tools/bench_kernel.py`` imports it to
+measure the *current* kernel against the pre-rewrite substrate on the same
+machine, which is what makes the CI perf gate machine-independent.
+
+Do not import this from ``src/`` code and do not "fix" or optimize it --
+its whole value is that it never changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (scheduling in the past, re-running, ...)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`; keep it to be able to
+    :meth:`Simulator.cancel` the callback before it fires.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.6f} seq={self.seq} {name} [{state}]>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulation loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, print, "fires at t=1.5")
+        sim.run(until=10.0)
+
+    The loop pops the earliest event, advances :attr:`now` to its timestamp
+    and invokes its callback.  Callbacks may schedule further events.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self._processed: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time t={self.now}"
+            )
+        ev = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event.  Cancelling twice is a no-op."""
+        event.cancelled = True
+        event.fn = None  # break reference cycles early
+        event.args = ()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` if empty."""
+        self._drop_cancelled()
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Process a single event.  Returns ``False`` if the queue is empty."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        ev = heapq.heappop(self._queue)
+        if ev.time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event queue corrupted: time went backwards")
+        self.now = ev.time
+        fn, args = ev.fn, ev.args
+        ev.fn = None
+        ev.args = ()
+        self._processed += 1
+        assert fn is not None
+        fn(*args)
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue empties or simulated time reaches ``until``.
+
+        Returns the simulation time at which the run stopped.  When ``until``
+        is given the clock is advanced to exactly ``until`` even if the last
+        event fired earlier (matching how the paper reports a fixed
+        application duration).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                nxt = self.peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    break
+                self.step()
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+            return self.now
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` to return after this event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of pending (non-cancelled) events."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    def _drop_cancelled(self) -> None:
+        q = self._queue
+        while q and q[0].cancelled:
+            heapq.heappop(q)

@@ -2,10 +2,17 @@
 
 Not a paper experiment: these track the DES kernel's throughput so
 regressions in the substrate (which every experiment sits on) are visible.
+
+Machine-readable trajectory: the committed ``benchmarks/BENCH_kernel.json``
+holds the recorded numbers for these workloads per substrate change
+(``tools/bench_kernel.py --record``); CI's bench-smoke job regenerates the
+measurement as an artifact and hard-gates kernel throughput against the
+frozen pre-rewrite snapshot (``benchmarks/_legacy_kernel.py``).
 """
 
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process, Timeout
+from repro.sim.timers import PeriodicTimer
 
 
 def test_kernel_event_throughput(benchmark):
@@ -44,6 +51,69 @@ def test_process_switch_throughput(benchmark):
         return sum(not p.alive for p in procs)
 
     assert benchmark(run) == 5
+
+
+def test_periodic_timer_throughput(benchmark):
+    """A field of periodic timers: the reschedule/timer-wheel fast path.
+
+    This is the shape of every cluster's unforced-CLC and heartbeat
+    timers (``config/timers.py``): many concurrent timers, each firing and
+    re-arming itself for the whole run.
+    """
+
+    def run():
+        sim = Simulator()
+        timers = [
+            PeriodicTimer(sim, 1.0 + i * 0.01, lambda: None) for i in range(100)
+        ]
+        for t in timers:
+            t.start()
+        sim.run(until=500.0)
+        return sim.processed
+
+    assert benchmark(run) > 0
+
+
+def test_schedule_many_burst(benchmark):
+    """Batched scheduling bursts (signal wakeups, broadcast fan-outs)."""
+
+    def run():
+        sim = Simulator()
+        sink = []
+        for wave in range(100):
+            sim.schedule_many(
+                [(float(wave), sink.append, (i,)) for i in range(200)]
+            )
+        sim.run()
+        return len(sink)
+
+    assert benchmark(run) == 20_000
+
+
+def test_cancellation_heavy_churn(benchmark):
+    """Schedule/cancel churn: the compaction + O(1)-pending path.
+
+    Mirrors the protocol's mass-cancel moments (rollback aborting an
+    in-flight 2PC round, detach-on-interrupt): most scheduled events never
+    fire, and the queue must not accumulate corpses.
+    """
+
+    def run():
+        sim = Simulator()
+        fired = []
+        for wave in range(50):
+            events = [
+                sim.schedule(float(wave) + 0.5, fired.append, i) for i in range(400)
+            ]
+            for ev in events[::4]:
+                sim.cancel(ev)
+            sim.run(until=float(wave))
+        sim.run()
+        return len(fired), sim.pending
+
+    fired_count, pending = benchmark(run)
+    assert fired_count == 50 * 300
+    assert pending == 0
 
 
 def test_full_federation_run(benchmark):

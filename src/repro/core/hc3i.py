@@ -50,6 +50,7 @@ from repro.core.ddv import DDV
 from repro.core.protocol import BaseProtocol, ClusterView, NodeAgent, register_protocol
 from repro.network.message import Message, MessageKind, NodeId
 from repro.sim.timers import PeriodicTimer
+from repro.sim.trace import TraceLevel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -210,7 +211,9 @@ class ClcCoordinator:
 
     def _timer_fired(self) -> None:
         # "timer interruptions" appear at the paper's highest trace level
-        self.protocol.tracer.debug("clc_timer_fired", cluster=self.cluster)
+        tracer = self.protocol.tracer
+        if tracer.level >= TraceLevel.DEBUG:  # skip building the record
+            tracer.debug("clc_timer_fired", cluster=self.cluster)
         if self.cs.recovering:
             return
         if self.phase is not self.IDLE or self.pending_request:
@@ -352,6 +355,10 @@ class Hc3iNodeAgent(NodeAgent):
     def __init__(self, protocol: "Hc3iProtocol", node: "Node"):
         super().__init__(protocol, node)
         self.cs: Hc3iClusterState = protocol.cluster_states[node.id.cluster]
+        #: this cluster's 2PC engine (agents are built after the coordinators)
+        self.coordinator: ClcCoordinator = protocol.coordinators[node.id.cluster]
+        #: lazily-resolved hc3i/c{i}/log_entries gauge (hot: every logged send)
+        self._log_gauge = None
         #: between CLC request and CLC commit: application messages queued
         self.in_round = False
         #: application sends queued during a freeze window
@@ -395,9 +402,12 @@ class Hc3iNodeAgent(NodeAgent):
             entry = cs.sent_log.add(msg, send_sn=cs.sn)
             entry.epoch = cs.rollback_epoch  # type: ignore[attr-defined]
             cs.state_dirty = True
-            self.protocol.stats.gauge(f"hc3i/c{cs.index}/log_entries").set(
-                len(cs.sent_log)
-            )
+            gauge = self._log_gauge
+            if gauge is None:
+                gauge = self._log_gauge = self.protocol.stats.gauge(
+                    f"hc3i/c{cs.index}/log_entries"
+                )
+            gauge.set(len(cs.sent_log))
         self.protocol.federation.fabric.send(msg)
 
     def send_replicas(self) -> None:
@@ -426,8 +436,8 @@ class Hc3iNodeAgent(NodeAgent):
     # ------------------------------------------------------------------
     def on_receive(self, msg: Message) -> None:
         kind = msg.kind
-        if kind.is_app:
-            if msg.inter_cluster:
+        if kind is MessageKind.APP or kind is MessageKind.REPLAY:
+            if msg.src.cluster != msg.dst.cluster:
                 self._on_inter_arrival(msg)
             else:
                 self.node.deliver_app(msg)
@@ -435,11 +445,11 @@ class Hc3iNodeAgent(NodeAgent):
         if kind is MessageKind.CLC_REQUEST:
             self._on_clc_request()
         elif kind is MessageKind.CLC_ACK:
-            self.protocol.coordinators[self.cs.index].on_ack(msg)
+            self.coordinator.on_ack(msg)
         elif kind is MessageKind.CLC_COMMIT:
             self.apply_commit()
         elif kind is MessageKind.CLC_INITIATE:
-            self.protocol.coordinators[self.cs.index].initiate(
+            self.coordinator.initiate(
                 CheckpointCause.FORCED,
                 updates=msg.payload.get("updates"),
                 force=msg.payload.get("force", False),
@@ -476,9 +486,11 @@ class Hc3iNodeAgent(NodeAgent):
         src = msg.src.cluster
         if cs.is_ghost(src, piggy):
             self.protocol.stats.counter("hc3i/ghosts_dropped").inc()
-            self.protocol.tracer.protocol(
-                "ghost_dropped", cluster=cs.index, msg_id=msg.msg_id, src=src
-            )
+            tracer = self.protocol.tracer
+            if tracer.level >= TraceLevel.PROTOCOL:
+                tracer.protocol(
+                    "ghost_dropped", cluster=cs.index, msg_id=msg.msg_id, src=src
+                )
             return
         if msg.msg_id in cs.delivered_ids:
             # Duplicate (replay raced an in-flight original). Re-ack
@@ -500,13 +512,15 @@ class Hc3iNodeAgent(NodeAgent):
                 force_required=force_required,
             )
             self.pending_force.append(entry)
-            self.protocol.tracer.protocol(
-                "force_requested",
-                cluster=cs.index,
-                msg_id=msg.msg_id,
-                src=src,
-                updates=dict(updates),
-            )
+            tracer = self.protocol.tracer
+            if tracer.level >= TraceLevel.PROTOCOL:
+                tracer.protocol(
+                    "force_requested",
+                    cluster=cs.index,
+                    msg_id=msg.msg_id,
+                    src=src,
+                    updates=dict(updates),
+                )
             self._request_force(updates, force_required)
         else:
             self.deliver_now(msg, ack_sn)
@@ -524,7 +538,7 @@ class Hc3iNodeAgent(NodeAgent):
         return {}
 
     def _request_force(self, updates: dict, force: bool) -> None:
-        coordinator = self.protocol.coordinators[self.cs.index]
+        coordinator = self.coordinator
         if self.node.id == coordinator.leader.id:
             coordinator.initiate(CheckpointCause.FORCED, updates=updates, force=force)
         else:
@@ -542,9 +556,11 @@ class Hc3iNodeAgent(NodeAgent):
         cs.state_dirty = True
         self.node.deliver_app(msg)
         self._send_ack(msg, ack_sn)
-        self.protocol.tracer.protocol(
-            "inter_delivered", cluster=cs.index, msg_id=msg.msg_id, ack_sn=ack_sn
-        )
+        tracer = self.protocol.tracer
+        if tracer.level >= TraceLevel.PROTOCOL:
+            tracer.protocol(
+                "inter_delivered", cluster=cs.index, msg_id=msg.msg_id, ack_sn=ack_sn
+            )
 
     def _send_ack(self, msg: Message, ack_sn: int) -> None:
         self.node.send_raw(
@@ -558,7 +574,7 @@ class Hc3iNodeAgent(NodeAgent):
     def _on_clc_request(self) -> None:
         self.in_round = True
         self.send_replicas()
-        coordinator = self.protocol.coordinators[self.cs.index]
+        coordinator = self.coordinator
         self.node.send_raw(
             coordinator.leader.id,
             MessageKind.CLC_ACK,

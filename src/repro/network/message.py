@@ -5,27 +5,80 @@ two-phase-commit control traffic, acknowledgements, rollback alerts, garbage
 collection rounds -- travels as a :class:`Message` through the
 :class:`~repro.network.fabric.Fabric`, so network statistics capture the
 *protocol overhead* the paper evaluates, not only application traffic.
+
+Both classes here are allocated on the per-message hot path (one
+:class:`Message` per send, :class:`NodeId` keys every channel/receiver
+lookup), so they are hand-written ``__slots__`` classes rather than
+dataclasses: no instance ``__dict__``, no generated-method indirection, and
+``NodeId`` caches its hash at construction (it is hashed at least twice per
+send: receiver lookup and FIFO channel key).
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 __all__ = ["Message", "MessageKind", "NodeId"]
 
 
-@dataclass(frozen=True, order=True)
 class NodeId:
-    """Address of a node: cluster index + node index within the cluster."""
+    """Address of a node: cluster index + node index within the cluster.
 
-    cluster: int
-    node: int
+    Value object: equality, ordering and hashing follow the
+    ``(cluster, node)`` pair.  Treat instances as immutable -- the hash is
+    computed once at construction.
+    """
+
+    __slots__ = ("cluster", "node", "_hash")
+
+    def __init__(self, cluster: int, node: int):
+        self.cluster = cluster
+        self.node = node
+        self._hash = hash((cluster, node))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, NodeId):
+            return self.cluster == other.cluster and self.node == other.node
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, NodeId):
+            return self.cluster != other.cluster or self.node != other.node
+        return NotImplemented
+
+    def __lt__(self, other: "NodeId") -> bool:
+        if isinstance(other, NodeId):
+            return (self.cluster, self.node) < (other.cluster, other.node)
+        return NotImplemented
+
+    def __le__(self, other: "NodeId") -> bool:
+        if isinstance(other, NodeId):
+            return (self.cluster, self.node) <= (other.cluster, other.node)
+        return NotImplemented
+
+    def __gt__(self, other: "NodeId") -> bool:
+        if isinstance(other, NodeId):
+            return (self.cluster, self.node) > (other.cluster, other.node)
+        return NotImplemented
+
+    def __ge__(self, other: "NodeId") -> bool:
+        if isinstance(other, NodeId):
+            return (self.cluster, self.node) >= (other.cluster, other.node)
+        return NotImplemented
 
     def __str__(self) -> str:
         return f"c{self.cluster}n{self.node}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeId(cluster={self.cluster}, node={self.node})"
+
+    def __reduce__(self):
+        return (NodeId, (self.cluster, self.node))
 
 
 class MessageKind(enum.Enum):
@@ -56,7 +109,6 @@ class MessageKind(enum.Enum):
 _msg_ids = itertools.count(1)
 
 
-@dataclass
 class Message:
     """A message in flight (or logged).
 
@@ -65,16 +117,33 @@ class Message:
     its whole DDV).  ``payload`` is free-form protocol/application data.
     ``size`` is the on-wire size in bytes used by the delay model (piggyback
     overhead should already be included by the sender).
+
+    Messages compare and hash by *identity* (each in-flight message is one
+    object); dedupe against ``msg_id``, never against whole messages.
     """
 
-    src: NodeId
-    dst: NodeId
-    kind: MessageKind
-    size: int
-    payload: dict = field(default_factory=dict)
-    piggyback: Optional[Any] = None
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
-    send_time: float = 0.0
+    __slots__ = ("src", "dst", "kind", "size", "payload", "piggyback",
+                 "msg_id", "send_time")
+
+    def __init__(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        kind: MessageKind,
+        size: int,
+        payload: Optional[dict] = None,
+        piggyback: Optional[Any] = None,
+        msg_id: Optional[int] = None,
+        send_time: float = 0.0,
+    ):
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.size = size
+        self.payload = {} if payload is None else payload
+        self.piggyback = piggyback
+        self.msg_id = next(_msg_ids) if msg_id is None else msg_id
+        self.send_time = send_time
 
     @property
     def inter_cluster(self) -> bool:

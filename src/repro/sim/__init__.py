@@ -13,22 +13,27 @@ simulator.  It provides:
   series recorders,
 * :class:`~repro.sim.timers.PeriodicTimer` -- restartable periodic timers
   (the protocol resets its CLC timer whenever a forced CLC commits),
-* :mod:`~repro.sim.trace` -- levelled, timestamped structured tracing.
+* :mod:`~repro.sim.trace` -- levelled, timestamped structured tracing,
+* :mod:`~repro.sim.trace_digest` -- order-sensitive digests of the kernel
+  dispatch stream (the golden trace-equivalence mechanism).
 
 Everything is single-threaded and deterministic: running the same model with
 the same seed produces the same trace, event order and statistics.
 """
 
-from repro.sim.kernel import Event, Simulator, SimulationError
+from repro.sim.kernel import Event, Simulator, SimulationError, event_pending
 from repro.sim.process import Interrupt, Process, Signal, Timeout
 from repro.sim.random import RandomStreams, Stream
 from repro.sim.stats import Counter, Series, StatsRegistry, Tally, TimeWeighted
 from repro.sim.timers import PeriodicTimer
 from repro.sim.trace import TraceLevel, TraceRecord, Tracer
+from repro.sim.trace_digest import TraceDigest
 
 __all__ = [
     "Counter",
     "Event",
+    "TraceDigest",
+    "event_pending",
     "Interrupt",
     "PeriodicTimer",
     "Process",

@@ -7,45 +7,81 @@ always fire in the order they were scheduled.
 
 Time is a ``float`` in *seconds* of simulated time.  Nothing in the kernel
 depends on wall-clock time.
+
+Hot-path representation
+-----------------------
+
+Every paper experiment ultimately spins this loop, so it is written for
+throughput:
+
+* A scheduled event is a plain 4-slot list ``[time, seq, fn, args]`` -- the
+  heap entry *is* the handle :meth:`Simulator.schedule` returns.  ``heapq``
+  compares entries with C-level list comparison on the ``(time, seq)``
+  prefix (``seq`` is unique, so ``fn``/``args`` are never compared and no
+  Python ``__lt__`` ever runs).
+* The entry's state is encoded in its ``fn``/``args`` slots: live entries
+  have a callable ``fn`` and a tuple ``args``; cancellation clears ``fn``
+  in place (the entry stays queued until it surfaces, or until cancelled
+  entries exceed half the queue and one O(n) in-place compaction sweeps
+  them); leaving the heap -- by dispatch or by a cancelled entry being
+  popped/swept -- sets ``args`` to ``None``, which is the single hot-path
+  store that marks the entry fired and safe for
+  :meth:`Simulator.reschedule` to reuse.
+* :attr:`Simulator.pending` is O(1) by construction:
+  ``len(queue) - cancelled_in_heap``, where the cancelled counter moves
+  only on the cold paths (cancel, cancelled-entry pop, compaction) --
+  dispatching a live event costs no accounting at all beyond the pop.
+* :meth:`Simulator.run` pops and dispatches inline -- no per-event
+  ``peek()``/``step()`` double scan, ``until`` normalized to ``+inf`` so
+  the horizon test is a single float comparison, and the digest hook
+  specialized out of the loop when disabled.
+* :meth:`Simulator.schedule_many` batches a burst of schedules through one
+  call, and :meth:`Simulator.reschedule` re-arms a fired entry in place
+  (a one-slot timer wheel: periodic timers reuse their heap entry instead
+  of allocating a fresh one every period).
+
+Determinism contract
+--------------------
+
+The observable dispatch stream -- which callback fires, at what simulated
+time, with which kernel sequence number -- is part of the kernel's
+contract, protected bit-for-bit by the golden trace-equivalence suite
+(:mod:`repro.sim.trace_digest`, ``tests/test_trace_golden.py``).  Any
+change to this file must reproduce the committed digests exactly; the
+representation above is free to change, the stream is not.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from math import inf
+from typing import Any, Callable, Iterable, Optional, Sequence
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = ["Event", "Simulator", "SimulationError", "event_pending"]
+
+#: heap-entry slot indices
+_TIME, _SEQ, _FN, _ARGS = 0, 1, 2, 3
+
+#: compaction is considered once the heap holds more entries than this
+_COMPACT_MIN = 64
+
+#: An event handle: the heap entry itself, ``[time, seq, fn, args]``.
+#: Opaque to callers -- hold it to :meth:`Simulator.cancel` the callback.
+Event = list
+
+#: module-level dispatch-digest sink installed by
+#: :func:`repro.sim.trace_digest.capture`; picked up by simulators at
+#: construction time
+_digest_sink = None
 
 
 class SimulationError(RuntimeError):
     """Raised on kernel misuse (scheduling in the past, re-running, ...)."""
 
 
-class Event:
-    """A scheduled callback.
-
-    Returned by :meth:`Simulator.schedule`; keep it to be able to
-    :meth:`Simulator.cancel` the callback before it fires.
-    """
-
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
-
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn: Optional[Callable[..., Any]] = fn
-        self.args = args
-        self.cancelled = False
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        name = getattr(self.fn, "__qualname__", repr(self.fn))
-        return f"<Event t={self.time:.6f} seq={self.seq} {name} [{state}]>"
+def event_pending(event: Event) -> bool:
+    """True while the event is scheduled and not cancelled/fired."""
+    return event[_FN] is not None and event[_ARGS] is not None
 
 
 class Simulator:
@@ -61,13 +97,34 @@ class Simulator:
     and invokes its callback.  Callbacks may schedule further events.
     """
 
+    __slots__ = (
+        "now",
+        "_queue",
+        "_seq",
+        "_cancelled_in_heap",
+        "_running",
+        "_stopped",
+        "_processed",
+        "_digest",
+    )
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: list[Event] = []
         self._seq: int = 0
+        self._cancelled_in_heap: int = 0
         self._running = False
         self._stopped = False
         self._processed: int = 0
+        self._digest = _digest_sink
+
+    def attach_digest(self, digest) -> None:
+        """Record every dispatched event into ``digest`` (a TraceDigest).
+
+        Takes effect for the next :meth:`run`/:meth:`step` call; a ``run``
+        already in progress keeps the digest it started with.
+        """
+        self._digest = digest
 
     # ------------------------------------------------------------------
     # scheduling
@@ -76,7 +133,10 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        entry = [self.now + delay, self._seq, fn, args]
+        self._seq += 1
+        heapq.heappush(self._queue, entry)
+        return entry
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
@@ -84,41 +144,136 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self.now}"
             )
-        ev = Event(time, self._seq, fn, args)
+        entry = [time, self._seq, fn, args]
         self._seq += 1
-        heapq.heappush(self._queue, ev)
-        return ev
+        heapq.heappush(self._queue, entry)
+        return entry
+
+    def schedule_many(self, items: Iterable[Sequence]) -> list:
+        """Batch-schedule ``(delay, fn)`` or ``(delay, fn, args)`` items.
+
+        Equivalent to calling :meth:`schedule` per item (identical sequence
+        numbers are assigned, in iteration order, so the dispatch stream is
+        the same), but with the per-call overhead paid once.  Returns the
+        new event handles in order.  A negative delay raises after the
+        earlier items were already scheduled, exactly as a loop of
+        :meth:`schedule` calls would.
+        """
+        queue = self._queue
+        push = heapq.heappush
+        now = self.now
+        seq = self._seq
+        entries = []
+        try:
+            for item in items:
+                delay = item[0]
+                if delay < 0:
+                    raise SimulationError(
+                        f"cannot schedule into the past (delay={delay})"
+                    )
+                entry = [now + delay, seq, item[1], item[2] if len(item) > 2 else ()]
+                seq += 1
+                push(queue, entry)
+                entries.append(entry)
+        finally:
+            self._seq = seq
+        return entries
+
+    def reschedule(
+        self, event: Optional[Event], delay: float, fn: Callable[..., Any], *args: Any
+    ) -> Event:
+        """Arm a timer, reusing ``event``'s heap entry when possible.
+
+        The one-slot timer-wheel fast path: a periodic timer's entry is
+        re-armed in place right after it fires, instead of allocating a
+        fresh list every period.  Reuse is only safe once the entry has
+        actually left the heap (fired, or a cancelled entry that was
+        popped/compacted away); a still-enqueued entry -- live or
+        cancelled -- falls back to a fresh :meth:`schedule`.  Sequence
+        numbers are allocated exactly as :meth:`schedule` would, so the
+        dispatch stream is unchanged.
+        """
+        if event is None or event[_ARGS] is not None:
+            return self.schedule(delay, fn, *args)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event[_TIME] = self.now + delay
+        event[_SEQ] = self._seq
+        event[_FN] = fn
+        event[_ARGS] = args
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event.  Cancelling twice is a no-op."""
-        event.cancelled = True
-        event.fn = None  # break reference cycles early
-        event.args = ()
+        """Cancel a pending event.  Cancelling twice (or after it fired) is
+        a no-op.
+
+        The entry is cleared in place and left in the heap; when cancelled
+        entries outnumber live ones the whole queue is compacted (one
+        O(n) heapify), so mass-cancelling workloads cannot leak memory.
+        """
+        if event[_FN] is None or event[_ARGS] is None:
+            return
+        event[_FN] = None  # break callback/args references; stays in the heap
+        event[_ARGS] = ()  # () not None: the entry has not left the heap yet
+        self._cancelled_in_heap += 1
+        n = len(self._queue)
+        if n > _COMPACT_MIN and self._cancelled_in_heap * 2 > n:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify.
+
+        Mutates the queue list *in place*: :meth:`run` (and any caller of
+        :meth:`step`/:meth:`peek`) may hold a local alias to it, so the
+        list's identity must survive compaction.
+        """
+        queue = self._queue
+        live = []
+        for entry in queue:
+            if entry[_FN] is not None:
+                live.append(entry)
+            else:
+                entry[_ARGS] = None  # out of the heap: reusable
+        queue[:] = live
+        heapq.heapify(queue)
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def peek(self) -> Optional[float]:
         """Timestamp of the next pending event, or ``None`` if empty."""
-        self._drop_cancelled()
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[_FN] is not None:
+                return entry[_TIME]
+            heapq.heappop(queue)
+            entry[_ARGS] = None
+            self._cancelled_in_heap -= 1
+        return None
 
     def step(self) -> bool:
         """Process a single event.  Returns ``False`` if the queue is empty."""
-        self._drop_cancelled()
-        if not self._queue:
-            return False
-        ev = heapq.heappop(self._queue)
-        if ev.time < self.now:  # pragma: no cover - defensive
-            raise SimulationError("event queue corrupted: time went backwards")
-        self.now = ev.time
-        fn, args = ev.fn, ev.args
-        ev.fn = None
-        ev.args = ()
-        self._processed += 1
-        assert fn is not None
-        fn(*args)
-        return True
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            fn = entry[_FN]
+            if fn is None:
+                entry[_ARGS] = None
+                self._cancelled_in_heap -= 1
+                continue
+            args = entry[_ARGS]
+            entry[_ARGS] = None
+            self.now = entry[_TIME]
+            self._processed += 1
+            if self._digest is not None:
+                self._digest.update(entry[_TIME], entry[_SEQ], fn)
+            fn(*args)
+            return True
+        return False
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue empties or simulated time reaches ``until``.
@@ -127,23 +282,77 @@ class Simulator:
         is given the clock is advanced to exactly ``until`` even if the last
         event fired earlier (matching how the paper reports a fixed
         application duration).
+
+        :attr:`processed` is refreshed when ``run`` returns (or raises);
+        a callback reading it mid-run sees the value as of the last
+        ``run``/``step`` boundary.  :attr:`pending` is exact at all times.
         """
         if self._running:
             raise SimulationError("simulator is already running (reentrant run())")
         self._running = True
         self._stopped = False
+        queue = self._queue
+        pop = heapq.heappop
+        digest = self._digest
+        horizon = inf if until is None else until
+        done = 0
+        # The two loops below are identical except for the digest call:
+        # the no-digest loop is the production hot path and must not pay
+        # even the per-event None test.  stop() can only be called from
+        # inside a callback, so testing _stopped after fn() is exact.
+        # Slot indices appear as literals below (not the _TIME/_SEQ/_FN/_ARGS
+        # module constants): a LOAD_CONST per access instead of a cached
+        # global lookup, measurable at millions of events per second.
         try:
-            while not self._stopped:
-                nxt = self.peek()
-                if nxt is None:
-                    break
-                if until is not None and nxt > until:
-                    break
-                self.step()
+            if digest is None:
+                while queue:
+                    entry = pop(queue)
+                    fn = entry[2]  # _FN
+                    if fn is None:
+                        entry[3] = None  # _ARGS
+                        self._cancelled_in_heap -= 1
+                        continue
+                    time = entry[0]  # _TIME
+                    if time > horizon:
+                        heapq.heappush(queue, entry)  # once per run at most
+                        break
+                    args = entry[3]
+                    entry[3] = None
+                    self.now = time
+                    done += 1
+                    # plain calls take CPython's specialized CALL path;
+                    # only splat when there genuinely are arguments
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+                    if self._stopped:
+                        break
+            else:
+                while queue:
+                    entry = pop(queue)
+                    fn = entry[2]  # _FN
+                    if fn is None:
+                        entry[3] = None  # _ARGS
+                        self._cancelled_in_heap -= 1
+                        continue
+                    time = entry[0]  # _TIME
+                    if time > horizon:
+                        heapq.heappush(queue, entry)
+                        break
+                    args = entry[3]
+                    entry[3] = None
+                    self.now = time
+                    done += 1
+                    digest.update(time, entry[1], fn)  # _SEQ
+                    fn(*args)
+                    if self._stopped:
+                        break
             if until is not None and not self._stopped and self.now < until:
                 self.now = until
             return self.now
         finally:
+            self._processed += done
             self._running = False
 
     def stop(self) -> None:
@@ -155,15 +364,10 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of pending (non-cancelled) events."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of pending (non-cancelled) events.  O(1)."""
+        return len(self._queue) - self._cancelled_in_heap
 
     @property
     def processed(self) -> int:
-        """Total number of events executed so far."""
+        """Total number of events executed so far (see :meth:`run`)."""
         return self._processed
-
-    def _drop_cancelled(self) -> None:
-        q = self._queue
-        while q and q[0].cancelled:
-            heapq.heappop(q)

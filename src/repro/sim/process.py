@@ -88,8 +88,10 @@ class Signal:
         self._triggered = True
         self._value = value
         waiters, self._waiters = self._waiters, []
-        for proc in waiters:
-            self._sim.schedule(0.0, proc._resume, value)
+        if waiters:
+            self._sim.schedule_many(
+                [(0.0, proc._resume, (value,)) for proc in waiters]
+            )
 
     def reset(self) -> None:
         """Re-arm the signal so it can be waited on and triggered again."""
@@ -194,11 +196,31 @@ class Process:
     # engine
     # ------------------------------------------------------------------
     def _resume(self, value: Any) -> None:
+        # The app-loop hot path: inlined (no closure allocation, no
+        # _advance/_wait_on frames) with the dominant Timeout target
+        # dispatched directly.  Must stay behaviorally identical to
+        # _advance() + _wait_on().
         if not self._alive:
             return
         self._pending_event = None
         self._waiting_on = None
-        self._advance(lambda: self._gen.send(value))
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self._terminate(result=stop.value)
+            return
+        except Interrupt:
+            # Interrupt escaped the generator: treat as a clean kill.
+            self._terminate(result=None)
+            return
+        except BaseException as exc:
+            self._terminate(failure=exc)
+            raise
+        if type(target) is Timeout:
+            self._waiting_on = target
+            self._pending_event = self.sim.schedule(target.delay, self._resume, None)
+        else:
+            self._wait_on(target)
 
     def _advance(self, step: Callable[[], Any]) -> None:
         try:
@@ -255,8 +277,10 @@ class Process:
         self._failure = failure
         self._gen.close()
         joiners, self._joiners = self._joiners, []
-        for proc in joiners:
-            self.sim.schedule(0.0, proc._resume, result)
+        if joiners:
+            self.sim.schedule_many(
+                [(0.0, proc._resume, (result,)) for proc in joiners]
+            )
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "alive" if self._alive else "dead"

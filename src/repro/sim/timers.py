@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Optional
 
-from repro.sim.kernel import Event, Simulator
+from repro.sim.kernel import Event, Simulator, event_pending
 
 __all__ = ["PeriodicTimer"]
 
@@ -58,7 +58,7 @@ class PeriodicTimer:
     @property
     def armed(self) -> bool:
         """True when a firing is currently scheduled."""
-        return self._event is not None and not self._event.cancelled
+        return self._event is not None and event_pending(self._event)
 
     def start(self) -> None:
         """Arm the timer.  No-op for an infinite/disabled period."""
@@ -68,6 +68,9 @@ class PeriodicTimer:
             return
         self._running = True
         assert self.period is not None
+        # _disarm() cleared self._event, so this is always a fresh entry;
+        # the timer-wheel reuse happens in _fire(), which re-arms the
+        # just-popped entry via sim.reschedule().
         self._event = self.sim.schedule(self.period, self._fire)
 
     def reset(self) -> None:
@@ -100,13 +103,14 @@ class PeriodicTimer:
 
     # ------------------------------------------------------------------
     def _fire(self) -> None:
+        fired = self._event  # just popped by the kernel: safe to reuse
         self._event = None
         self.firings += 1
         self.action()
         # The action may itself have re-armed (reset) or stopped the timer.
         if self._running and self._event is None and self.enabled:
             assert self.period is not None
-            self._event = self.sim.schedule(self.period, self._fire)
+            self._event = self.sim.reschedule(fired, self.period, self._fire)
 
     def _disarm(self) -> None:
         if self._event is not None:

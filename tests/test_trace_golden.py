@@ -1,0 +1,106 @@
+"""Golden trace-equivalence suite: the substrate rewrite safety net.
+
+``tests/golden/trace_digests.json`` holds, for every registered experiment
+at tiny scale, an order-sensitive digest of the *entire kernel dispatch
+stream* -- every event's ``(time, seq, callback)``, across every grid
+point, hashed in dispatch order (see :mod:`repro.sim.trace_digest`).  The
+digests were recorded with the pre-rewrite kernel (commit 89bd73f, before
+the tuple-entry heap / fabric / protocol-core fast paths), so a match
+proves the optimized substrate reproduces the original behavior
+bit-for-bit: not "statistically close", but the same events, at the same
+simulated instants, in the same order, into the same handlers.
+
+Refreshing the goldens
+----------------------
+
+Only refresh when a *behavior* change is intentional (protocol changes,
+new experiments, deliberate event-order changes) -- never to make an
+optimization pass:
+
+.. code-block:: console
+
+    PYTHONPATH=src python tools/record_golden_traces.py        # rewrite
+    PYTHONPATH=src python tools/record_golden_traces.py --check  # diff only
+
+(the same refresh is available as
+``HC3I_UPDATE_GOLDEN=1 python -m pytest tests/test_trace_golden.py``).
+The file is committed, so the diff will show exactly which experiments'
+streams changed; call that out in the PR description.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.golden import (
+    all_experiment_digests,
+    experiment_digest,
+    golden_overrides,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "trace_digests.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+UPDATE = bool(os.environ.get("HC3I_UPDATE_GOLDEN"))
+
+
+def test_every_registered_experiment_has_a_golden():
+    """A new experiment must get a digest recorded alongside it."""
+    missing = sorted(set(registry.names()) - set(GOLDEN))
+    stale = sorted(set(GOLDEN) - set(registry.names()))
+    assert not missing, (
+        f"experiments without golden digests: {missing}; run "
+        "tools/record_golden_traces.py and commit the result"
+    )
+    assert not stale, f"golden digests for unregistered experiments: {stale}"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_dispatch_stream_matches_golden(name):
+    if UPDATE:
+        pytest.skip("HC3I_UPDATE_GOLDEN set: refreshing instead of asserting")
+    got = experiment_digest(name)
+    want = GOLDEN[name]
+    assert got["events"] == want["events"], (
+        f"{name}: dispatched {got['events']} events, golden has "
+        f"{want['events']} -- the substrate changed how much work runs"
+    )
+    assert got == want, (
+        f"{name}: dispatch-stream digest diverged from the pre-rewrite "
+        "golden. If this is an intentional behavior change, refresh with "
+        "tools/record_golden_traces.py; if you were optimizing, this is a bug."
+    )
+
+
+@pytest.mark.skipif(not UPDATE, reason="set HC3I_UPDATE_GOLDEN=1 to refresh")
+def test_update_golden():
+    digests = all_experiment_digests()
+    GOLDEN_PATH.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+
+
+class TestDigestSensitivity:
+    """The digest must actually react to behavior changes -- otherwise a
+    golden 'match' proves nothing."""
+
+    def test_different_seed_changes_digest(self):
+        exp = registry.get("table1")
+        base = golden_overrides(exp)
+        a = experiment_digest("table1", {**base, "seed": 7})
+        b = experiment_digest("table1", {**base, "seed": 8})
+        assert a["digest"] != b["digest"]
+
+    def test_different_scale_changes_digest(self):
+        exp = registry.get("table1")
+        base = golden_overrides(exp)
+        a = experiment_digest("table1", base)
+        b = experiment_digest("table1", {**base, "nodes": 5})
+        assert a["digest"] != b["digest"]
+
+    def test_same_run_is_reproducible(self):
+        a = experiment_digest("fig6-fig7")
+        b = experiment_digest("fig6-fig7")
+        assert a == b

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Measure simulation-substrate throughput; record or gate the trajectory.
+
+Three workloads, all wall-clock, events/sec, best of ``--repeat`` runs:
+
+* ``kernel_events_per_sec`` -- raw schedule+dispatch of self-rescheduling
+  kernel events (the ``bench_simulator_core`` kernel workload),
+* ``process_resumes_per_sec`` -- generator-process Timeout resumes,
+* ``timer_firings_per_sec`` -- a field of periodic timers (the
+  reschedule/timer-wheel fast path).
+
+The kernel workload is *also* run against the frozen pre-rewrite kernel
+snapshot (``benchmarks/_legacy_kernel.py``) in the same process, giving a
+machine-independent ``legacy_ratio``.
+
+Modes::
+
+    python tools/bench_kernel.py                    # print a report
+    python tools/bench_kernel.py --json out.json    # machine-readable
+    python tools/bench_kernel.py --record "label"   # append to the
+                                                    #   committed trajectory
+                                                    #   (benchmarks/BENCH_kernel.json)
+    python tools/bench_kernel.py --gate             # exit 1 on regression
+
+The gate enforces two floors on ``kernel_events_per_sec``:
+
+1. **relative** (machine-independent, primary): current kernel must beat
+   the legacy snapshot measured on the same machine in the same run by
+   ``$HC3I_BENCH_MIN_RATIO`` (default 1.0 -- never regress below the
+   pre-rewrite substrate),
+2. **absolute**: current must reach the committed pre-rewrite baseline
+   number times ``$HC3I_BENCH_ABS_SLACK`` (default 1.0; lower it only for
+   machines known to be slower than the one that recorded the baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO / "benchmarks" / "BENCH_kernel.json"
+
+sys.path.insert(0, str(REPO / "src"))
+
+
+def _load_legacy_kernel():
+    spec = importlib.util.spec_from_file_location(
+        "_legacy_kernel", REPO / "benchmarks" / "_legacy_kernel.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def bench_kernel_events(simulator_cls, n: int = 200_000) -> float:
+    sim = simulator_cls()
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+        if count < n:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(1.0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    assert count == n
+    return n / elapsed
+
+
+def bench_process_resumes(n: int = 20_000, procs: int = 5) -> float:
+    from repro.sim.kernel import Simulator
+    from repro.sim.process import Process, Timeout
+
+    sim = Simulator()
+
+    def proc():
+        for _ in range(n):
+            yield Timeout(1.0)
+
+    alive = [Process(sim, proc()) for _ in range(procs)]
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    assert not any(p.alive for p in alive)
+    return (n * procs) / elapsed
+
+
+def bench_timer_firings(n_timers: int = 200, horizon: float = 1000.0) -> float:
+    from repro.sim.kernel import Simulator
+    from repro.sim.timers import PeriodicTimer
+
+    sim = Simulator()
+    timers = [
+        PeriodicTimer(sim, 1.0 + i * 0.01, lambda: None) for i in range(n_timers)
+    ]
+    for t in timers:
+        t.start()
+    t0 = time.perf_counter()
+    sim.run(until=horizon)
+    elapsed = time.perf_counter() - t0
+    return sim.processed / elapsed
+
+
+def measure(repeat: int = 3) -> dict:
+    from repro.sim.kernel import Simulator
+
+    legacy = _load_legacy_kernel()
+    best = lambda fn, *a: max(fn(*a) for _ in range(repeat))  # noqa: E731
+    current = best(bench_kernel_events, Simulator)
+    legacy_rate = best(bench_kernel_events, legacy.Simulator)
+    return {
+        "kernel_events_per_sec": round(current),
+        "legacy_kernel_events_per_sec": round(legacy_rate),
+        "legacy_ratio": round(current / legacy_rate, 3),
+        "process_resumes_per_sec": round(best(bench_process_resumes)),
+        "timer_firings_per_sec": round(best(bench_timer_firings)),
+        "python": ".".join(map(str, sys.version_info[:3])),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    parser.add_argument(
+        "--record",
+        metavar="LABEL",
+        help="append a labelled entry to the committed trajectory "
+        f"({BENCH_JSON.relative_to(REPO)})",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero if kernel throughput regressed (see module doc)",
+    )
+    parser.add_argument("--repeat", type=int, default=3, help="best-of-N (default 3)")
+    args = parser.parse_args(argv)
+
+    results = measure(repeat=args.repeat)
+    committed = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+
+    for key, value in results.items():
+        print(f"{key:32s} {value}")
+
+    if args.json:
+        payload = {"results": results}
+        if committed:
+            payload["committed_baseline"] = committed.get("baseline")
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.record:
+        committed.setdefault("trajectory", []).append(
+            {"label": args.record, **results}
+        )
+        BENCH_JSON.write_text(json.dumps(committed, indent=2) + "\n")
+        print(f"recorded {args.record!r} into {BENCH_JSON.relative_to(REPO)}")
+
+    if args.gate:
+        failures = []
+        min_ratio = float(os.environ.get("HC3I_BENCH_MIN_RATIO", "1.0"))
+        if results["legacy_ratio"] < min_ratio:
+            failures.append(
+                f"relative gate: current/legacy = {results['legacy_ratio']} "
+                f"< required {min_ratio} (HC3I_BENCH_MIN_RATIO)"
+            )
+        baseline = (committed.get("baseline") or {}).get("kernel_events_per_sec")
+        if baseline:
+            slack = float(os.environ.get("HC3I_BENCH_ABS_SLACK", "1.0"))
+            floor = baseline * slack
+            if results["kernel_events_per_sec"] < floor:
+                failures.append(
+                    f"absolute gate: {results['kernel_events_per_sec']} ev/s "
+                    f"< committed pre-rewrite baseline {baseline} x slack "
+                    f"{slack} (HC3I_BENCH_ABS_SLACK)"
+                )
+        if failures:
+            for failure in failures:
+                print(f"GATE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"GATE OK: {results['kernel_events_per_sec']} ev/s, "
+            f"{results['legacy_ratio']}x the pre-rewrite substrate"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

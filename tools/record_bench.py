@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Record the experiment-level benchmark trajectory.
+
+Runs every registered experiment's tiny-scale grid serially in-process
+(the exact workload whose dispatch streams the golden suite pins), times
+each, and appends a labelled entry to ``benchmarks/BENCH_experiments.json``
+so every future substrate PR has a wall-clock trajectory to beat.
+
+Event counts come from ``tests/golden/trace_digests.json`` -- they are
+exact for this workload and cost nothing at run time (running with the
+digest attached would slow the thing being measured).
+
+Usage::
+
+    PYTHONPATH=src python tools/record_bench.py --record "PR 5 <change>"
+    PYTHONPATH=src python tools/record_bench.py            # measure only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO / "benchmarks" / "BENCH_experiments.json"
+GOLDEN_JSON = REPO / "tests" / "golden" / "trace_digests.json"
+
+sys.path.insert(0, str(REPO / "src"))
+
+
+def measure() -> dict:
+    from repro.experiments import registry
+    from repro.experiments.golden import golden_overrides
+
+    golden = json.loads(GOLDEN_JSON.read_text()) if GOLDEN_JSON.exists() else {}
+    per_experiment = {}
+    total_seconds = 0.0
+    total_events = 0
+    for name in registry.names():
+        experiment = registry.get(name)
+        grid = experiment.build_grid(golden_overrides(experiment))
+        t0 = time.perf_counter()
+        for params in grid:
+            experiment.point(params)
+        elapsed = time.perf_counter() - t0
+        events = golden.get(name, {}).get("events")
+        per_experiment[name] = {
+            "seconds": round(elapsed, 4),
+            "points": len(grid),
+            "events": events,
+        }
+        total_seconds += elapsed
+        total_events += events or 0
+    return {
+        "total_seconds": round(total_seconds, 3),
+        "total_events": total_events,
+        "events_per_sec": round(total_events / total_seconds) if total_seconds else 0,
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "per_experiment": per_experiment,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--record", metavar="LABEL", help="append a labelled trajectory entry"
+    )
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    args = parser.parse_args(argv)
+
+    results = measure()
+    print(
+        f"all experiments, tiny scale: {results['total_seconds']}s, "
+        f"{results['total_events']} events, {results['events_per_sec']} ev/s"
+    )
+    slowest = sorted(
+        results["per_experiment"].items(),
+        key=lambda kv: kv[1]["seconds"],
+        reverse=True,
+    )[:5]
+    for name, row in slowest:
+        print(f"  {name:28s} {row['seconds']:.3f}s  {row['points']} points")
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    if args.record:
+        committed = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+        committed.setdefault("trajectory", []).append(
+            {"label": args.record, **results}
+        )
+        BENCH_JSON.write_text(json.dumps(committed, indent=2) + "\n")
+        print(f"recorded {args.record!r} into {BENCH_JSON.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

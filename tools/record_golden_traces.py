@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Record the golden kernel-dispatch digests for every experiment.
+
+Rewrites ``tests/golden/trace_digests.json`` with the digests produced by
+the *current* substrate.  Only run this when a behavior change is
+intentional (a protocol change, a new experiment, a deliberate event-order
+change) -- the whole point of the golden suite is that kernel/network/core
+*optimizations* must NOT need a refresh.
+
+Usage::
+
+    PYTHONPATH=src python tools/record_golden_traces.py           # rewrite
+    PYTHONPATH=src python tools/record_golden_traces.py --check   # diff only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN_PATH = REPO / "tests" / "golden" / "trace_digests.json"
+
+sys.path.insert(0, str(REPO / "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed goldens instead of rewriting",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.golden import all_experiment_digests
+
+    digests = all_experiment_digests()
+    if args.check:
+        committed = json.loads(GOLDEN_PATH.read_text())
+        mismatched = {
+            name: {"committed": committed.get(name), "current": current}
+            for name, current in digests.items()
+            if committed.get(name) != current
+        }
+        missing = sorted(set(committed) - set(digests))
+        if mismatched or missing:
+            print(json.dumps({"mismatched": mismatched, "missing": missing}, indent=2))
+            print(f"FAIL: {len(mismatched)} mismatched, {len(missing)} missing",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: all {len(digests)} experiment digests match the goldens")
+        return 0
+
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+    total_events = sum(d["events"] for d in digests.values())
+    print(f"wrote {GOLDEN_PATH} ({len(digests)} experiments, "
+          f"{total_events} dispatched events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
