@@ -18,6 +18,7 @@ Paper sweeps run through the parallel experiment engine::
     repro sweep fig8 --set delays_min=[5,15]
     repro sweep table1 --backend ssh --hosts nodeA,nodeB:4
     repro sweep fig9 --backend slurm --sbatch-opt=--partition=short
+    repro sweep fig9 --backend k8s --namespace sweeps
 
 Federation cache sync moves finished results between sites::
 
@@ -35,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -246,11 +248,12 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=["local", "ssh", "slurm"],
+        choices=["local", "ssh", "slurm", "k8s"],
         default="local",
         help=(
             "where cache-missing points execute: 'local' (process pool, default), "
-            "'ssh' (fan out to --hosts) or 'slurm' (sbatch array jobs)"
+            "'ssh' (fan out to --hosts), 'slurm' (sbatch array jobs) or "
+            "'k8s' (indexed-completion kubernetes jobs)"
         ),
     )
     parser.add_argument(
@@ -265,8 +268,9 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "--spool",
         default=None,
         help=(
-            "slurm backend spool directory, visible to submit and compute nodes "
-            "(default: $REPRO_SLURM_SPOOL or <cache dir>/slurm-spool)"
+            "slurm/k8s backend spool directory, visible to submit machine and "
+            "compute nodes/pods (default: $REPRO_SLURM_SPOOL or "
+            "<cache dir>/slurm-spool; $REPRO_K8S_SPOOL or <cache dir>/k8s-spool)"
         ),
     )
     parser.add_argument(
@@ -278,6 +282,22 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help=(
             "extra #SBATCH line for slurm array jobs (repeatable), e.g. "
             "--sbatch-opt=--partition=short --sbatch-opt=--time=30"
+        ),
+    )
+    parser.add_argument(
+        "--namespace",
+        default=None,
+        help="k8s backend: namespace to create sweep jobs in (default: the context's)",
+    )
+    parser.add_argument(
+        "--k8s-opt",
+        dest="k8s_opts",
+        action="append",
+        default=[],
+        metavar="OPT",
+        help=(
+            "extra kubectl argument for the k8s backend (repeatable), e.g. "
+            "--k8s-opt=--context=federation-b --k8s-opt=--kubeconfig=/path"
         ),
     )
     parser.add_argument(
@@ -320,24 +340,42 @@ def _sweep_main(argv: Sequence[str]) -> int:
         raise SystemExit(
             f"--hosts only applies to --backend ssh (got --backend {args.backend})"
         )
-    if (args.spool or args.sbatch_opts) and args.backend != "slurm":
+    if args.sbatch_opts and args.backend != "slurm":
         raise SystemExit(
-            f"--spool/--sbatch-opt only apply to --backend slurm "
+            f"--sbatch-opt directives only apply to --backend slurm "
+            f"(got --backend {args.backend})"
+        )
+    if args.spool and args.backend not in ("slurm", "k8s"):
+        raise SystemExit(
+            f"--spool/--sbatch-opt only apply to --backend slurm/k8s "
+            f"(--sbatch-opt: slurm only; got --backend {args.backend})"
+        )
+    if (args.namespace or args.k8s_opts) and args.backend != "k8s":
+        raise SystemExit(
+            f"--namespace/--k8s-opt only apply to --backend k8s "
             f"(got --backend {args.backend})"
         )
     backend_kwargs: dict = {}
-    if args.backend == "slurm":
+    if args.backend in ("slurm", "k8s"):
         if args.spool:
             backend_kwargs["spool"] = args.spool
         elif args.cache_dir:
-            # keep the promise of "<cache dir>/slurm-spool": an explicit
+            # keep the promise of "<cache dir>/<scheduler>-spool": an explicit
             # --cache-dir (often the cluster-shared filesystem) carries the
             # spool with it
             from pathlib import Path
 
-            backend_kwargs["spool"] = Path(args.cache_dir) / "slurm-spool"
+            backend_kwargs["spool"] = Path(args.cache_dir) / f"{args.backend}-spool"
+    if args.backend == "slurm":
         backend_kwargs["sbatch_options"] = tuple(args.sbatch_opts)
         backend_kwargs["python"] = sys.executable
+    if args.backend == "k8s":
+        backend_kwargs["namespace"] = args.namespace
+        backend_kwargs["kubectl_options"] = tuple(args.k8s_opts)
+        # pods run their own interpreter; against the local stub scheduler
+        # this process's python is the right default, on a real cluster
+        # $REPRO_K8S_PYTHON names the interpreter inside the image
+        backend_kwargs["python"] = os.environ.get("REPRO_K8S_PYTHON", sys.executable)
     try:
         backend = create_backend(
             args.backend, jobs=args.jobs, hosts=args.hosts, **backend_kwargs
@@ -545,8 +583,6 @@ def console_main() -> int:  # pragma: no cover
     try:
         return main()
     except BrokenPipeError:
-        import os
-
         # reopen stdout on devnull so interpreter teardown doesn't warn
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0

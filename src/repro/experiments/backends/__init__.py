@@ -14,8 +14,16 @@ pluggable policy behind the :class:`Backend` protocol:
   jobs submitted through ``sbatch`` and polled via ``squeue``/``sacct``
   (pluggable :class:`SchedulerTransport`; results spool through a shared
   directory).
+* ``k8s`` (:class:`KubernetesBackend`) -- batches points into
+  indexed-completion Kubernetes Jobs driven through ``kubectl``
+  (pluggable :class:`K8sTransport`; same spool-directory envelopes).
 * ``inprocess`` (:class:`InProcessBackend`) -- synchronous test double
   with fake hosts and fault injection.
+
+``slurm`` and ``k8s`` share the scheduler-agnostic
+:class:`~repro.experiments.backends.batch.BatchBackend` substrate
+(linger batching, poll-loop grace counters, requeue taxonomy, spool
+hygiene); each contributes only its scheduler's dialect.
 
 ``create_backend`` is the CLI/runner factory.  The runner owns retry:
 a :class:`WorkerLostError` puts the point back in the queue and the
@@ -36,7 +44,9 @@ from repro.experiments.backends.base import (
     RemotePointError,
     WorkerLostError,
 )
+from repro.experiments.backends.batch import BatchBackend, BatchTransport
 from repro.experiments.backends.hosts import HostSpec, parse_hosts
+from repro.experiments.backends.k8s import K8sCliTransport, K8sTransport, KubernetesBackend
 from repro.experiments.backends.local import InProcessBackend, LocalProcessBackend
 from repro.experiments.backends.slurm import SchedulerTransport, SlurmBackend, SlurmCliTransport
 from repro.experiments.backends.ssh import SSHBackend
@@ -45,8 +55,13 @@ __all__ = [
     "Backend",
     "BackendUnavailableError",
     "BACKEND_NAMES",
+    "BatchBackend",
+    "BatchTransport",
     "HostSpec",
     "InProcessBackend",
+    "K8sCliTransport",
+    "K8sTransport",
+    "KubernetesBackend",
     "LocalProcessBackend",
     "PointOutcome",
     "PointTask",
@@ -62,7 +77,7 @@ __all__ = [
 ]
 
 #: names accepted by ``--backend`` / :func:`create_backend`
-BACKEND_NAMES = ("local", "ssh", "slurm", "inprocess")
+BACKEND_NAMES = ("local", "ssh", "slurm", "k8s", "inprocess")
 
 
 def create_backend(
@@ -92,6 +107,8 @@ def create_backend(
         return SSHBackend(roster, **kwargs)
     if name == "slurm":
         return SlurmBackend(**kwargs)
+    if name == "k8s":
+        return KubernetesBackend(**kwargs)
     raise ValueError(
         f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}"
     )

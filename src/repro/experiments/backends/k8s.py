@@ -1,0 +1,385 @@
+"""Kubernetes batch backend: submit grid points as indexed-completion Jobs.
+
+The second big scheduler family real federations run today.  Where the
+SLURM backend speaks ``sbatch --array``, this backend batches the
+sweep's cache-missing grid points into one Kubernetes **Job** with
+``completionMode: Indexed``: pod *i* (``$JOB_COMPLETION_INDEX``) runs
+``python -m repro.experiments.remote_worker`` with stdin/stdout
+redirected to ``tasks/<i>.json`` / ``results/<i>.json`` in the job's
+spool directory -- the exact wire format and write-then-rename result
+envelopes every distributed backend shares.  The spool must be visible
+to both the submitting machine and the pods; the default manifest
+mounts it (plus ``cwd``, when set) as ``hostPath`` volumes at identical
+paths, which fits single-node/dev clusters and CI -- production
+clusters typically swap in a shared PVC (see ``docs/sweeps.md``).
+
+All the scheduler-agnostic machinery (linger batching, the poll loop
+with unknown/completed grace, requeue taxonomy, spool hygiene) comes
+from :class:`~repro.experiments.backends.batch.BatchBackend`; this
+module contributes the Kubernetes dialect: the Job manifest, the
+``kubectl`` conversation, and the pod-phase vocabulary.
+
+Scheduler interaction goes through a pluggable :class:`K8sTransport`.
+The default :class:`K8sCliTransport` shells out to ``kubectl
+create/get/delete``; ``$REPRO_KUBECTL_COMMAND`` prefixes every
+invocation (mirroring ``$REPRO_SLURM_COMMAND``), which is how tests and
+CI substitute ``tools/stub_k8s.py`` -- a synchronous mini-scheduler --
+for a real cluster.
+
+Failure semantics follow the backend contract: a pod that fails, is
+evicted, hits the Job deadline, or vanishes raises
+:class:`WorkerLostError`, so the runner requeues the point --
+resubmissions are batched into a fresh Job.  The manifest pins
+``backoffLimit: 0`` / ``restartPolicy: Never`` because retry is *the
+runner's* job: letting kubelet restart a pod would re-run a point the
+runner may already have requeued elsewhere.  A point *raising* inside
+the worker comes back in the envelope as a deterministic
+:class:`RemotePointError` (not retryable), and the code-hash handshake
+refuses results from out-of-sync checkouts exactly as over SSH/SLURM.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shlex
+import subprocess
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.backends.base import (
+    BackendUnavailableError,
+    WorkerLostError,
+    tail_text as _tail,
+)
+from repro.experiments.backends.batch import (
+    WORKER_MODULE as _WORKER_MODULE,
+    BatchBackend,
+    BatchTransport,
+)
+from repro.experiments.cache import default_cache_dir
+
+__all__ = [
+    "K8sCliTransport",
+    "K8sTransport",
+    "KubernetesBackend",
+    "default_k8s_spool_dir",
+    "default_kubectl_command",
+]
+
+#: prefixes every kubectl command line (shlex-split), e.g. to substitute
+#: tools/stub_k8s.py in tests/CI or to route through a wrapper script
+_K8S_COMMAND_ENV = "REPRO_KUBECTL_COMMAND"
+
+#: overrides the default spool location
+_K8S_SPOOL_ENV = "REPRO_K8S_SPOOL"
+
+#: the label every pod of an indexed Job carries; also set as an
+#: annotation on older control planes, so the transport checks both
+_INDEX_KEY = "batch.kubernetes.io/job-completion-index"
+
+#: pod phases (or failure reasons) meaning "may still produce a result"
+ACTIVE_PHASES = frozenset({"PENDING", "RUNNING"})
+
+#: terminal pod phases/reasons meaning "died without a result": retryable.
+#: ``FAILED`` is the bare phase; the rest are ``status.reason`` refinements
+#: the transport surfaces when the control plane provides them.
+LOST_PHASES = frozenset(
+    {
+        "FAILED",
+        "EVICTED",
+        "DEADLINEEXCEEDED",
+        "OOMKILLED",
+        "NODELOST",
+        "SHUTDOWN",
+    }
+)
+
+
+def default_kubectl_command() -> tuple:
+    """The kubectl argv prefix: ``$REPRO_KUBECTL_COMMAND`` or ``kubectl``."""
+    env = os.environ.get(_K8S_COMMAND_ENV)
+    if env:
+        return tuple(shlex.split(env))
+    return ("kubectl",)
+
+
+def default_k8s_spool_dir() -> Path:
+    """``$REPRO_K8S_SPOOL`` or ``<cache dir>/k8s-spool`` (shared filesystem)."""
+    env = os.environ.get(_K8S_SPOOL_ENV)
+    if env:
+        return Path(env)
+    return default_cache_dir() / "k8s-spool"
+
+
+class K8sTransport(BatchTransport):
+    """How the backend talks to a Kubernetes control plane.  Stubbable.
+
+    The Kubernetes-flavoured name for the shared :class:`BatchTransport`
+    protocol; ``spec`` in :meth:`submit` is the rendered Job manifest
+    (JSON -- also valid input for real ``kubectl create -f``).
+    """
+
+
+class K8sCliTransport(K8sTransport):
+    """The real thing: shell out to ``kubectl create``/``get``/``delete``.
+
+    ``namespace`` adds ``-n <ns>`` and ``kubectl_options`` appends extra
+    arguments (``--context=...``, ``--kubeconfig=...``) to every
+    invocation.
+    """
+
+    def __init__(
+        self,
+        command_prefix: Optional[tuple] = None,
+        namespace: Optional[str] = None,
+        kubectl_options: tuple = (),
+        timeout: float = 60.0,
+    ) -> None:
+        self.prefix = (
+            tuple(command_prefix) if command_prefix is not None else default_kubectl_command()
+        )
+        self.namespace = namespace
+        self.kubectl_options = tuple(kubectl_options)
+        self.timeout = timeout
+
+    def _argv(self, *args: str) -> list:
+        argv = [*self.prefix, *args]
+        if self.namespace:
+            argv += ["-n", self.namespace]
+        argv += list(self.kubectl_options)
+        return argv
+
+    def submit(self, job_dir: Path, spec: Path, n_tasks: int) -> str:
+        argv = self._argv("create", "-f", str(spec), "-o", "name")
+        try:
+            proc = subprocess.run(argv, capture_output=True, timeout=self.timeout)
+        except OSError as exc:
+            raise BackendUnavailableError(
+                f"cannot launch kubectl ({argv[0]!r}): {exc}"
+            ) from None
+        except subprocess.TimeoutExpired:
+            # the API server may have accepted the Job without the client
+            # reporting it; delete by (unique) manifest name so the orphan
+            # cannot run the same points the retry will resubmit
+            self._cancel_by_manifest_name(spec)
+            raise WorkerLostError(
+                "k8s", f"kubectl create gave no job name within {self.timeout:g}s"
+            ) from None
+        if proc.returncode != 0:
+            raise WorkerLostError(
+                "k8s", f"kubectl create exit {proc.returncode}: {_tail(proc.stderr)}"
+            )
+        # -o name prints "job.batch/<name>"
+        name = proc.stdout.decode(errors="replace").strip().rsplit("/", 1)[-1]
+        if not name:
+            raise WorkerLostError("k8s", "kubectl create printed no job name")
+        return name
+
+    def poll(self, job_id: str) -> dict:
+        out = self._run_quiet(
+            "get", "pods", "-l", f"job-name={job_id}", "-o", "json"
+        )
+        if out is None:
+            return {}
+        try:
+            pods = json.loads(out)
+        except json.JSONDecodeError:
+            return {}
+        states: dict = {}
+        for pod in pods.get("items", []):
+            if not isinstance(pod, dict):
+                continue
+            meta = pod.get("metadata") or {}
+            index = (meta.get("labels") or {}).get(_INDEX_KEY)
+            if index is None:
+                index = (meta.get("annotations") or {}).get(_INDEX_KEY)
+            try:
+                index = int(index)
+            except (TypeError, ValueError):
+                continue
+            status = pod.get("status") or {}
+            phase = str(status.get("phase") or "").upper()
+            if phase == "FAILED":
+                # surface the control plane's refinement (Evicted,
+                # DeadlineExceeded, ...) when present; all map to "lost"
+                reason = str(status.get("reason") or "").upper()
+                phase = reason or phase
+            if phase:
+                states[index] = phase
+        return states
+
+    def _run_quiet(self, *args: str) -> Optional[str]:
+        try:
+            proc = subprocess.run(
+                self._argv(*args), capture_output=True, timeout=self.timeout
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            # e.g. the namespace disappeared mid-sweep
+            return None
+        return proc.stdout.decode(errors="replace")
+
+    def cancel(self, target: str) -> None:
+        try:
+            subprocess.run(
+                self._argv(
+                    "delete", "job", target, "--ignore-not-found=true", "--wait=false"
+                ),
+                capture_output=True,
+                timeout=self.timeout,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+
+    def _cancel_by_manifest_name(self, spec: Path) -> None:
+        """Best-effort delete of a Job whose creation was never confirmed."""
+        try:
+            manifest = json.loads(Path(spec).read_text(encoding="utf-8"))
+            name = manifest["metadata"]["name"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            return
+        self.cancel(str(name))
+
+
+class KubernetesBackend(BatchBackend):
+    """Batch cache-missing grid points into indexed-completion k8s Jobs."""
+
+    name = "k8s"
+    task_noun = "completion index"
+    active_states = ACTIVE_PHASES
+    lost_states = LOST_PHASES
+    completed_states = frozenset({"SUCCEEDED"})
+
+    def __init__(
+        self,
+        transport: Optional[K8sTransport] = None,
+        spool: Optional[Path] = None,
+        python: str = "python3",
+        cwd: Optional[str] = None,
+        pythonpath: Optional[str] = None,
+        namespace: Optional[str] = None,
+        image: str = "python:3.12-slim",
+        kubectl_options: tuple = (),
+        batch_size: int = 500,
+        linger: float = 0.2,
+        poll_interval: float = 1.0,
+        point_timeout: Optional[float] = None,
+        unknown_grace: int = 10,
+        completed_grace: int = 5,
+        keep_spool: bool = False,
+        verify_code: bool = True,
+    ) -> None:
+        super().__init__(
+            transport=(
+                transport
+                if transport is not None
+                else K8sCliTransport(namespace=namespace, kubectl_options=kubectl_options)
+            ),
+            spool=spool if spool is not None else default_k8s_spool_dir(),
+            python=python,
+            cwd=cwd,
+            pythonpath=pythonpath,
+            batch_size=batch_size,
+            linger=linger,
+            poll_interval=poll_interval,
+            point_timeout=point_timeout,
+            unknown_grace=unknown_grace,
+            completed_grace=completed_grace,
+            keep_spool=keep_spool,
+            verify_code=verify_code,
+        )
+        self.namespace = namespace
+        self.image = image
+        self.kubectl_options = tuple(kubectl_options)
+
+    # -- BatchBackend hooks ----------------------------------------------
+
+    def _write_submission(self, job_dir: Path, n_tasks: int) -> Path:
+        manifest = job_dir / "job.json"
+        manifest.write_text(
+            json.dumps(self._render_manifest(job_dir, n_tasks), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+        return manifest
+
+    # a timed-out point deletes the whole Job: Kubernetes has no per-index
+    # cancel, and every index of one Job shares the same submission clock,
+    # so its siblings are timing out in the same poll anyway
+    # (the default _cancel_target already names the job)
+
+    def _job_name(self, job_dir: Path) -> str:
+        # DNS-1123: the spool components are already lowercase [a-z0-9-]
+        # ("sweep-<pid>-<hex>", "job-<seq>"), so this stays a valid name
+        return f"hc3i-{job_dir.parent.name}-{job_dir.name}"
+
+    def _render_pod_script(self, job_dir: Path) -> str:
+        lines = ["set -u"]
+        if self.cwd:
+            lines.append(f"cd {shlex.quote(self.cwd)}")
+        if self.pythonpath:
+            lines.append(
+                f"export PYTHONPATH={shlex.quote(self.pythonpath)}"
+                + "${PYTHONPATH:+:$PYTHONPATH}"
+            )
+        quoted = shlex.quote(str(job_dir))
+        lines.append(f'task={quoted}/tasks/"$JOB_COMPLETION_INDEX".json')
+        lines.append(f'out={quoted}/results/"$JOB_COMPLETION_INDEX".json')
+        # write-then-rename: a result file is complete the instant it exists
+        lines.append(
+            f'{shlex.quote(self.python)} -m {_WORKER_MODULE} '
+            '< "$task" > "$out.tmp" && mv "$out.tmp" "$out"'
+        )
+        return "\n".join(lines) + "\n"
+
+    def _render_manifest(self, job_dir: Path, n_tasks: int) -> dict:
+        name = self._job_name(job_dir)
+        mounts = [str(self.spool)]
+        if self.cwd and not Path(self.cwd).resolve().is_relative_to(
+            self.spool.resolve()
+        ):
+            # a cwd under the spool is already mounted; anything else --
+            # including a sibling sharing a string prefix -- needs its own
+            mounts.append(str(self.cwd))
+        volumes = [
+            {"name": f"spool-{i}", "hostPath": {"path": path, "type": "Directory"}}
+            for i, path in enumerate(mounts)
+        ]
+        volume_mounts = [
+            {"name": f"spool-{i}", "mountPath": path} for i, path in enumerate(mounts)
+        ]
+        metadata: dict = {"name": name, "labels": {"app.kubernetes.io/name": "hc3i-repro"}}
+        if self.namespace:
+            metadata["namespace"] = self.namespace
+        return {
+            "apiVersion": "batch/v1",
+            "kind": "Job",
+            "metadata": metadata,
+            "spec": {
+                "completionMode": "Indexed",
+                "completions": n_tasks,
+                "parallelism": n_tasks,
+                # retry is the runner's job (requeue taxonomy), never kubelet's
+                "backoffLimit": 0,
+                "template": {
+                    "metadata": {"labels": {"app.kubernetes.io/name": "hc3i-repro"}},
+                    "spec": {
+                        "restartPolicy": "Never",
+                        "containers": [
+                            {
+                                "name": "point",
+                                "image": self.image,
+                                "command": [
+                                    "/bin/bash",
+                                    "-c",
+                                    self._render_pod_script(job_dir),
+                                ],
+                                "volumeMounts": volume_mounts,
+                            }
+                        ],
+                        "volumes": volumes,
+                    },
+                },
+            },
+        }

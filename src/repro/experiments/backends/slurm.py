@@ -11,6 +11,13 @@ with stdin/stdout redirected to ``tasks/<i>.json`` / ``results/<i>.json``.
 The spool directory must be visible to both the submitting machine and
 the compute nodes (home directories usually are).
 
+All of that machinery -- spooling, linger batching, the poll loop with
+its unknown/completed grace counters, the requeue taxonomy -- lives in
+the scheduler-agnostic :class:`~repro.experiments.backends.batch.
+BatchBackend`; this module contributes only SLURM's dialect: the
+``sbatch`` script, the ``sacct``/``squeue`` conversation, and the state
+vocabulary.
+
 Scheduler interaction goes through a pluggable
 :class:`SchedulerTransport`.  The default
 :class:`SlurmCliTransport` shells out to ``sbatch``/``squeue``/``sacct``/
@@ -30,29 +37,26 @@ as over SSH.
 
 from __future__ import annotations
 
-import abc
-import json
 import os
 import re
 import shlex
-import shutil
 import subprocess
-import threading
-import time
-from concurrent.futures import Future, InvalidStateError
 from pathlib import Path
 from typing import Optional
 
 from repro.experiments.backends.base import (
-    Backend,
     BackendUnavailableError,
-    PointOutcome,
-    PointTask,
     WorkerLostError,
     tail_text as _tail,
 )
+from repro.experiments.backends.batch import (
+    WORKER_MODULE as _WORKER_MODULE,
+    BatchBackend,
+    BatchTransport,
+    expand_indices as _expand_indices,
+    normalize_state as _normalize_state,
+)
 from repro.experiments.cache import default_cache_dir
-from repro.experiments.remote_worker import decode_envelope, make_wire_job
 
 __all__ = [
     "SchedulerTransport",
@@ -68,8 +72,6 @@ _SLURM_COMMAND_ENV = "REPRO_SLURM_COMMAND"
 
 #: overrides the default spool location
 _SLURM_SPOOL_ENV = "REPRO_SLURM_SPOOL"
-
-_WORKER_MODULE = "repro.experiments.remote_worker"
 
 #: scheduler states that mean "the task can still produce a result"
 ACTIVE_STATES = frozenset(
@@ -117,30 +119,13 @@ def default_spool_dir() -> Path:
     return default_cache_dir() / "slurm-spool"
 
 
-class SchedulerTransport(abc.ABC):
-    """How the backend talks to a batch scheduler.  Stubbable in tests."""
+class SchedulerTransport(BatchTransport):
+    """How the backend talks to a batch scheduler.  Stubbable in tests.
 
-    @abc.abstractmethod
-    def submit(self, job_dir: Path, script: Path, n_tasks: int) -> str:
-        """Submit ``script`` as an array job of ``n_tasks``; returns the job id.
-
-        Raises :class:`WorkerLostError` for a failed submission (retryable:
-        the queue may have been momentarily full) and
-        :class:`BackendUnavailableError` when the scheduler cannot be
-        reached at all (``sbatch`` missing).
-        """
-
-    @abc.abstractmethod
-    def poll(self, job_id: str) -> dict:
-        """Best-effort state per array index, e.g. ``{0: "RUNNING"}``.
-
-        Missing indices mean "unknown"; the backend tolerates a few
-        unknown polls before declaring a task lost.  Never raises.
-        """
-
-    @abc.abstractmethod
-    def cancel(self, job_id: str) -> None:
-        """Best-effort ``scancel``.  Never raises."""
+    The SLURM-flavoured name for the shared :class:`BatchTransport`
+    protocol; ``spec`` in :meth:`submit` is the rendered ``sbatch``
+    script.
+    """
 
 
 class SlurmCliTransport(SchedulerTransport):
@@ -155,8 +140,8 @@ class SlurmCliTransport(SchedulerTransport):
     def _argv(self, *args: str) -> list:
         return [*self.prefix, *args]
 
-    def submit(self, job_dir: Path, script: Path, n_tasks: int) -> str:
-        argv = self._argv("sbatch", "--parsable", str(script))
+    def submit(self, job_dir: Path, spec: Path, n_tasks: int) -> str:
+        argv = self._argv("sbatch", "--parsable", str(spec))
         try:
             proc = subprocess.run(argv, capture_output=True, timeout=self.timeout)
         except OSError as exc:
@@ -167,7 +152,7 @@ class SlurmCliTransport(SchedulerTransport):
             # sbatch may have accepted the job without printing its id yet;
             # cancel by (unique) job name so the orphan cannot run the same
             # points the retry will resubmit
-            self._cancel_by_script_name(script)
+            self._cancel_by_script_name(spec)
             raise WorkerLostError("slurm", f"sbatch gave no job id within {self.timeout:g}s") from None
         if proc.returncode != 0:
             raise WorkerLostError(
@@ -205,10 +190,10 @@ class SlurmCliTransport(SchedulerTransport):
             return None
         return proc.stdout.decode(errors="replace")
 
-    def cancel(self, job_id: str) -> None:
+    def cancel(self, target: str) -> None:
         try:
             subprocess.run(
-                self._argv("scancel", job_id), capture_output=True, timeout=self.timeout
+                self._argv("scancel", target), capture_output=True, timeout=self.timeout
             )
         except (OSError, subprocess.TimeoutExpired):
             pass
@@ -235,14 +220,16 @@ class SlurmCliTransport(SchedulerTransport):
 def _parse_sacct(out: str, job_id: str) -> dict:
     """``sacct -n -P -X -o JobID,State`` lines -> {array index: STATE}."""
     states: dict = {}
-    pattern = re.compile(rf"^{re.escape(job_id)}_(\d+|\[[\d,\-%]+\])$")
+    pattern = re.compile(rf"^{re.escape(job_id)}_(\d+|\[[\d,\-:%]+\])$")
     for line in out.splitlines():
         jid, _, state = line.strip().partition("|")
         match = pattern.match(jid)
         if not match or not state:
             continue
         token = match.group(1)
-        normalized = state.split()[0].upper().rstrip("+")  # "CANCELLED by 0"
+        normalized = _normalize_state(state)  # "CANCELLED by 0", "COMPLETED+"
+        if not normalized:
+            continue
         for idx in _expand_indices(token):
             states[idx] = normalized
     return states
@@ -255,60 +242,22 @@ def _parse_squeue(out: str) -> dict:
         token, _, state = line.strip().partition("|")
         if not token or not state:
             continue
+        normalized = _normalize_state(state)
+        if not normalized:
+            continue
         for idx in _expand_indices(token):
-            states[idx] = state.split()[0].upper()
+            states[idx] = normalized
     return states
 
 
-def _expand_indices(token: str) -> list:
-    """Array-index tokens: ``3``, ``[0-4]``, ``0,2-5`` (``%limit`` stripped)."""
-    token = token.strip().strip("[]").split("%")[0]
-    indices = []
-    for chunk in token.split(","):
-        chunk = chunk.strip()
-        if not chunk:
-            continue
-        lo, sep, hi = chunk.partition("-")
-        try:
-            if sep:
-                indices.extend(range(int(lo), int(hi) + 1))
-            else:
-                indices.append(int(chunk))
-        except ValueError:
-            continue
-    return indices
-
-
-class _TaskSlot:
-    """One submitted point waiting on an array task."""
-
-    __slots__ = ("task", "future", "unknown_polls", "completed_polls")
-
-    def __init__(self, task: PointTask, future: Future) -> None:
-        self.task = task
-        self.future = future
-        self.unknown_polls = 0
-        self.completed_polls = 0
-
-
-class _ArrayJob:
-    """One submitted sbatch array job and its per-index slots."""
-
-    def __init__(self, job_id: str, job_dir: Path, slots: list) -> None:
-        self.job_id = job_id
-        self.dir = job_dir
-        self.slots = dict(enumerate(slots))
-        self.submitted = time.monotonic()
-        self.failed = False
-
-    def unresolved(self) -> dict:
-        return {i: s for i, s in self.slots.items() if not s.future.done()}
-
-
-class SlurmBackend(Backend):
+class SlurmBackend(BatchBackend):
     """Batch cache-missing grid points into SLURM array jobs."""
 
     name = "slurm"
+    task_noun = "array task"
+    active_states = ACTIVE_STATES
+    lost_states = LOST_STATES
+    completed_states = frozenset({"COMPLETED"})
 
     def __init__(
         self,
@@ -327,166 +276,32 @@ class SlurmBackend(Backend):
         keep_spool: bool = False,
         verify_code: bool = True,
     ) -> None:
-        self.transport = transport if transport is not None else SlurmCliTransport()
-        self.spool = Path(spool) if spool is not None else default_spool_dir()
-        self.python = python
-        self.cwd = cwd
-        self.pythonpath = pythonpath
-        self.sbatch_options = tuple(sbatch_options)
-        self.batch_size = max(1, int(batch_size))
-        self.linger = max(0.0, float(linger))
-        self.poll_interval = max(0.005, float(poll_interval))
-        self.point_timeout = point_timeout
-        self.unknown_grace = max(1, int(unknown_grace))
-        self.completed_grace = max(1, int(completed_grace))
-        self.keep_spool = keep_spool
-        self.verify_code = verify_code
-
-        self._cond = threading.Condition()
-        self._buffer: list = []
-        self._buffer_since = 0.0
-        self._flush_asap = False
-        self._expected: Optional[int] = None
-        self._jobs: list = []
-        self._job_seq = 0
-        self._closing = False
-        self._thread: Optional[threading.Thread] = None
-        self._sweep_dir: Optional[Path] = None
-
-    # -- Backend protocol ----------------------------------------------
-
-    def prepare(self, n_tasks: int) -> None:
-        with self._cond:
-            self._expected = max(1, n_tasks)
-
-    def submit(self, task: PointTask) -> "Future[PointOutcome]":
-        future: Future = Future()
-        with self._cond:
-            if self._closing:
-                raise BackendUnavailableError("SLURM backend is shutting down")
-            if not self._buffer:
-                self._buffer_since = time.monotonic()
-            self._buffer.append(_TaskSlot(task, future))
-            self._ensure_thread()
-            self._cond.notify_all()
-        return future
-
-    def flush(self) -> None:
-        with self._cond:
-            if self._buffer:
-                self._flush_asap = True
-                self._cond.notify_all()
-
-    def shutdown(self) -> None:
-        with self._cond:
-            if self._closing:
-                return
-            self._closing = True
-            self._cond.notify_all()
-            thread = self._thread
-        if thread is not None:
-            thread.join(timeout=30.0)
-        # fail anything still unresolved and cancel scheduler leftovers
-        for job in self._jobs:
-            leftovers = job.unresolved()
-            if leftovers:
-                self.transport.cancel(job.job_id)
-            for slot in leftovers.values():
-                slot.future.cancel()
-        for slot in self._buffer:
-            slot.future.cancel()
-        self._buffer.clear()
-        self._cleanup_sweep_dir()
-
-    def hosts(self) -> list:
-        return ["slurm"]
-
-    # -- submission loop -----------------------------------------------
-
-    def _ensure_thread(self) -> None:
-        if self._thread is None or not self._thread.is_alive():
-            self._thread = threading.Thread(
-                target=self._loop, name="slurm-sweep", daemon=True
-            )
-            self._thread.start()
-
-    def _loop(self) -> None:
-        next_poll = time.monotonic()
-        while True:
-            with self._cond:
-                if self._closing:
-                    return
-                timeout = min(
-                    self.poll_interval,
-                    self.linger if self._buffer else self.poll_interval,
-                    max(0.0, next_poll - time.monotonic()),
-                    0.2,
-                )
-                self._cond.wait(timeout=max(0.005, timeout))
-                if self._closing:
-                    return
-                batch = self._take_ready_batch()
-            if batch:
-                self._submit_array_job(batch)
-            if time.monotonic() >= next_poll:
-                self._poll_jobs()
-                next_poll = time.monotonic() + self.poll_interval
-
-    def _take_ready_batch(self) -> list:
-        """Under the lock: pop the buffer if it is ripe for submission."""
-        if not self._buffer:
-            return []
-        ripe = (
-            self._flush_asap
-            or len(self._buffer) >= self.batch_size
-            or (self._expected is not None and len(self._buffer) >= self._expected)
-            or time.monotonic() - self._buffer_since >= self.linger
+        super().__init__(
+            transport=transport if transport is not None else SlurmCliTransport(),
+            spool=spool if spool is not None else default_spool_dir(),
+            python=python,
+            cwd=cwd,
+            pythonpath=pythonpath,
+            batch_size=batch_size,
+            linger=linger,
+            poll_interval=poll_interval,
+            point_timeout=point_timeout,
+            unknown_grace=unknown_grace,
+            completed_grace=completed_grace,
+            keep_spool=keep_spool,
+            verify_code=verify_code,
         )
-        if not ripe:
-            return []
-        batch, self._buffer = self._buffer[: self.batch_size], self._buffer[self.batch_size:]
-        if not self._buffer:
-            self._flush_asap = False
-        if self._expected is not None:
-            # once the prepared burst is dispatched, later submissions are
-            # retries of unknown count: fall back to linger/flush batching
-            remaining = self._expected - len(batch)
-            self._expected = remaining if remaining > 0 else None
-        return batch
+        self.sbatch_options = tuple(sbatch_options)
 
-    # -- array job lifecycle -------------------------------------------
+    # -- BatchBackend hooks ----------------------------------------------
 
-    def _ensure_sweep_dir(self) -> Path:
-        if self._sweep_dir is None:
-            root = self.spool / f"sweep-{os.getpid()}-{int(time.time() * 1000):x}"
-            root.mkdir(parents=True, exist_ok=True)
-            self._sweep_dir = root
-        return self._sweep_dir
+    def _write_submission(self, job_dir: Path, n_tasks: int) -> Path:
+        script = job_dir / "job.sh"
+        script.write_text(self._render_script(job_dir, n_tasks), encoding="utf-8")
+        return script
 
-    def _submit_array_job(self, slots: list) -> None:
-        self._job_seq += 1
-        try:
-            job_dir = self._ensure_sweep_dir() / f"job-{self._job_seq:04d}"
-            (job_dir / "tasks").mkdir(parents=True)
-            (job_dir / "results").mkdir()
-            (job_dir / "logs").mkdir()
-            for i, slot in enumerate(slots):
-                wire = make_wire_job(slot.task.experiment, slot.task.params)
-                (job_dir / "tasks" / f"{i}.json").write_text(
-                    json.dumps(wire, sort_keys=True), encoding="utf-8"
-                )
-            script = job_dir / "job.sh"
-            script.write_text(self._render_script(job_dir, len(slots)), encoding="utf-8")
-        except OSError as exc:
-            self._fail_slots(slots, WorkerLostError("slurm", f"cannot write spool: {exc}"))
-            return
-        try:
-            job_id = self.transport.submit(job_dir, script, len(slots))
-        except BaseException as exc:  # noqa: BLE001 - delivered through the futures
-            self._fail_slots(slots, exc)
-            return
-        with self._cond:
-            self._jobs.append(_ArrayJob(job_id, job_dir, slots))
+    def _cancel_target(self, job_id: str, index: int) -> str:
+        return f"{job_id}_{index}"
 
     def _render_script(self, job_dir: Path, n_tasks: int) -> str:
         lines = [
@@ -515,113 +330,3 @@ class SlurmBackend(Backend):
             '< "$task" > "$out.tmp" && mv "$out.tmp" "$out"'
         )
         return "\n".join(lines) + "\n"
-
-    @staticmethod
-    def _fail_slots(slots: list, exc: BaseException) -> None:
-        for slot in slots:
-            _set_exception(slot.future, exc)
-
-    # -- polling -------------------------------------------------------
-
-    def _poll_jobs(self) -> None:
-        with self._cond:
-            jobs = list(self._jobs)
-        for job in jobs:
-            self._poll_job(job)
-        with self._cond:
-            self._jobs = [j for j in self._jobs if j.unresolved()]
-        for job in jobs:
-            if not job.unresolved():
-                self._finalize_job(job)
-
-    def _poll_job(self, job: _ArrayJob) -> None:
-        unresolved = job.unresolved()
-        if not unresolved:
-            return
-        # harvest result files first: a finished task's envelope beats any
-        # (possibly stale) scheduler state
-        need_states = {}
-        for i, slot in list(unresolved.items()):
-            result_path = job.dir / "results" / f"{i}.json"
-            if result_path.exists():
-                self._resolve_from_file(job, i, slot, result_path)
-            else:
-                need_states[i] = slot
-        if not need_states:
-            return
-        states = self.transport.poll(job.job_id)
-        timed_out = (
-            self.point_timeout is not None
-            and time.monotonic() - job.submitted > self.point_timeout
-        )
-        for i, slot in need_states.items():
-            if slot.future.done():
-                continue
-            state = states.get(i)
-            if timed_out:
-                self.transport.cancel(f"{job.job_id}_{i}")
-                self._lose(job, i, slot, f"no result within {self.point_timeout:g}s")
-            elif state in ACTIVE_STATES:
-                slot.unknown_polls = 0
-                slot.completed_polls = 0
-            elif state in LOST_STATES:
-                self._lose(job, i, slot, f"array task {i} ended {state}")
-            elif state == "COMPLETED":
-                # completed per the scheduler but the result file has not
-                # appeared: allow for shared-filesystem lag, then give up
-                slot.completed_polls += 1
-                if slot.completed_polls >= self.completed_grace:
-                    self._lose(job, i, slot, f"array task {i} completed without a result")
-            else:
-                slot.unknown_polls += 1
-                if slot.unknown_polls >= self.unknown_grace:
-                    self._lose(job, i, slot, f"array task {i} vanished from the scheduler")
-
-    def _resolve_from_file(self, job: _ArrayJob, i: int, slot: _TaskSlot, path: Path) -> None:
-        host = f"slurm:{job.job_id}"
-        try:
-            envelope = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self._lose(job, i, slot, f"garbled result file {path.name}: {exc}")
-            return
-        try:
-            value = decode_envelope(envelope, host, verify_code=self.verify_code)
-        except BaseException as exc:  # noqa: BLE001 - delivered through the future
-            _set_exception(slot.future, exc)
-            job.failed = True
-            return
-        elapsed = float(envelope.get("elapsed", 0.0) or 0.0)
-        _set_result(slot.future, PointOutcome(value=value, host=host, elapsed=elapsed))
-
-    def _lose(self, job: _ArrayJob, i: int, slot: _TaskSlot, reason: str) -> None:
-        job.failed = True
-        _set_exception(slot.future, WorkerLostError(f"slurm:{job.job_id}", reason))
-
-    def _finalize_job(self, job: _ArrayJob) -> None:
-        if self.keep_spool or job.failed:
-            return  # keep failed-job spools around for post-mortems
-        shutil.rmtree(job.dir, ignore_errors=True)
-
-    def _cleanup_sweep_dir(self) -> None:
-        if self._sweep_dir is None or self.keep_spool:
-            return
-        try:
-            self._sweep_dir.rmdir()  # only if every job dir was cleaned up
-        except OSError:
-            pass
-
-
-def _set_result(future: Future, outcome: PointOutcome) -> None:
-    try:
-        future.set_result(outcome)
-    except InvalidStateError:
-        pass  # the runner cancelled this point (sweep aborting)
-
-
-def _set_exception(future: Future, exc: BaseException) -> None:
-    try:
-        future.set_exception(exc)
-    except InvalidStateError:
-        pass
-
-

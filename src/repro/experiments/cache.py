@@ -123,7 +123,17 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "wb") as fh:
+            fh = os.fdopen(fd, "wb")
+        except BaseException:
+            # fdopen never took ownership: close the raw fd ourselves
+            os.close(fd)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        try:
+            with fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
         except BaseException:
@@ -207,12 +217,23 @@ class ResultCache:
         return by_key
 
     def clear(self) -> int:
-        """Remove every entry; returns the number of files removed."""
+        """Remove every entry; returns the number of entries removed.
+
+        Also sweeps orphaned ``*.tmp`` files -- a sweep killed between
+        :func:`tempfile.mkstemp` and :func:`os.replace` in :meth:`put`
+        leaves one behind, and nothing else ever looks at them.  Orphans
+        do not count toward the return value (they were never entries).
+        """
         removed = 0
         if self.root.exists():
             for path in self.root.rglob("*.pkl"):
                 path.unlink()
                 removed += 1
+            for path in self.root.rglob("*.tmp"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass  # e.g. a live writer renamed it away first
         return removed
 
     def entry_count(self) -> int:

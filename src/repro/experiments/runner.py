@@ -222,12 +222,19 @@ def _execute_pending(
                 complete(future, i)
             else:
                 in_flight[future] = i
-        backend.flush()  # batching backends: the submission burst is over
+        if failure is None:
+            backend.flush()  # batching backends: the submission burst is over
         while in_flight and failure is None:
             done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
             for future in done:
                 complete(future, in_flight.pop(future))
-            backend.flush()  # dispatch any resubmissions as one batch
+            if failure is None:
+                # dispatch any resubmissions as one batch -- but never for a
+                # sweep that is already aborting: a fatal error recorded for
+                # another future in the same `done` batch must not let a
+                # batching backend (SLURM/k8s) submit a fresh job of
+                # resubmissions that will only be cancelled below
+                backend.flush()
         if failure is not None:
             # stop scheduling, but harvest every point that did finish --
             # with streaming cache writes, a re-run resumes from here

@@ -192,6 +192,68 @@ def make_slurm_backend(spool, transport=None, **kwargs):
     )
 
 
+class InMemoryK8sTransport:
+    """A :class:`K8sTransport` that runs completion indices in-process.
+
+    ``kubectl create`` is simulated at submit time: each index's wire job
+    is read from the spool, executed through the real
+    ``remote_worker.run_job``, and its envelope written where the pod
+    would have written it.  ``fault(job_seq, index, job) -> phase | None``
+    injects control-plane failures: returning a pod phase string (e.g.
+    ``"EVICTED"``) kills that pod -- terminal phase recorded, no result
+    file -- exactly what a node-pressure eviction mid-sweep looks like to
+    the backend.
+    """
+
+    def __init__(self, fault=None) -> None:
+        self.fault = fault
+        self.seq = 0
+        self.jobs: dict = {}
+        self.job_names: dict = {}
+        self.job_dirs: dict = {}
+        self.cancelled: list = []
+
+    def submit(self, job_dir, spec, n_tasks) -> str:
+        from repro.experiments.remote_worker import run_job
+
+        self.seq += 1
+        manifest = json.loads(Path(spec).read_text(encoding="utf-8"))
+        name = manifest["metadata"]["name"]
+        phases = {}
+        for i in range(n_tasks):
+            job = json.loads((job_dir / "tasks" / f"{i}.json").read_text())
+            verdict = self.fault(self.seq, i, job) if self.fault else None
+            if verdict:
+                phases[i] = verdict
+                continue
+            envelope = run_job(job)
+            (job_dir / "results" / f"{i}.json").write_text(json.dumps(envelope))
+            phases[i] = "SUCCEEDED"
+        self.jobs[name] = phases
+        self.job_names[self.seq] = name
+        self.job_dirs[name] = job_dir
+        return name
+
+    def poll(self, job_id: str) -> dict:
+        return dict(self.jobs.get(job_id, {}))
+
+    def cancel(self, target: str) -> None:
+        self.cancelled.append(target)
+
+
+def make_k8s_backend(spool, transport=None, **kwargs):
+    """A fast-polling :class:`KubernetesBackend` over the in-memory transport."""
+    from repro.experiments.backends import KubernetesBackend
+
+    kwargs.setdefault("linger", 0.01)
+    kwargs.setdefault("poll_interval", 0.01)
+    return KubernetesBackend(
+        transport=transport if transport is not None else InMemoryK8sTransport(),
+        spool=Path(spool),
+        **kwargs,
+    )
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

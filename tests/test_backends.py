@@ -20,6 +20,7 @@ import pytest
 from repro.cli import coerce_set_value, main
 from repro.experiments import registry
 from repro.experiments.backends import (
+    Backend,
     BackendUnavailableError,
     HostSpec,
     InProcessBackend,
@@ -124,9 +125,14 @@ class TestCreateBackend:
         assert backend.name == "slurm"
         backend.shutdown()
 
+    def test_k8s_is_a_registered_backend(self, tmp_path):
+        backend = create_backend("k8s", spool=tmp_path)
+        assert backend.name == "k8s"
+        backend.shutdown()
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
-            create_backend("k8s")
+            create_backend("nomad")
 
 
 class TestInProcessBackend:
@@ -549,7 +555,112 @@ class TestSetOverrides:
         assert payload["points"] == 1  # ran with nodes=6, not tiny's 4
 
 
+class _ScriptedBatchBackend(Backend):
+    """A synchronous stand-in for batching backends (SLURM/k8s).
+
+    ``submit`` only buffers -- nothing runs until ``flush`` dispatches
+    the whole buffer as one batch, exactly the shape of an array-job or
+    indexed-Job submission.  ``script(task, attempt)`` decides each
+    dispatched task's fate: an exception instance is delivered through
+    the future, anything else becomes the point value.
+    """
+
+    name = "scripted-batch"
+
+    def __init__(self, script):
+        self._script = script
+        self._buffer = []
+        self._attempts = {}
+        self.batches = []
+
+    def submit(self, task):
+        from concurrent.futures import Future
+
+        future = Future()
+        self._buffer.append((task, future))
+        return future
+
+    def flush(self):
+        from repro.experiments.backends import PointOutcome
+
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        self.batches.append([task.params for task, _ in batch])
+        for task, future in batch:
+            key = json.dumps(task.params, sort_keys=True)
+            attempt = self._attempts.get(key, 0) + 1
+            self._attempts[key] = attempt
+            verdict = self._script(task, attempt)
+            if isinstance(verdict, BaseException):
+                future.set_exception(verdict)
+            else:
+                future.set_result(
+                    PointOutcome(value=verdict, host="scripted", elapsed=0.0)
+                )
+
+
+class TestAbortingSweepNeverResubmits:
+    """The runner must not let a batching backend dispatch resubmissions
+    for a sweep that has already recorded a fatal failure -- the regression
+    where ``backend.flush()`` ran after a non-retryable error was recorded
+    for another future in the same completed batch."""
+
+    def test_requeue_plus_fatal_in_one_batch_submits_no_new_job(self, monkeypatch):
+        """One poll delivers a retryable loss AND a fatal point error; the
+        requeued point must stay in the buffer, not go out as a fresh job."""
+        from repro.experiments import runner as runner_mod
+
+        fatal = RemotePointError("scripted", "deterministic point failure")
+
+        def script(task, attempt):
+            if task.params.get("delay_min") == 5:
+                return WorkerLostError("scripted", "pod evicted")
+            return fatal
+
+        backend = _ScriptedBatchBackend(script)
+
+        real_wait = runner_mod.wait
+
+        def losses_first_wait(futures, return_when=None):
+            done, not_done = real_wait(futures, return_when=return_when)
+            # deliver retryable losses before the fatal error so the requeue
+            # is buffered by the time the failure is recorded -- the exact
+            # interleaving that used to trigger the extra submission
+            ordered = sorted(
+                done, key=lambda f: not isinstance(f.exception(), WorkerLostError)
+            )
+            return ordered, not_done
+
+        monkeypatch.setattr(runner_mod, "wait", losses_first_wait)
+        with pytest.raises(RemotePointError, match="deterministic point failure"):
+            run_experiment("fig6-fig7", overrides=FIG67_TINY, backend=backend)
+        assert len(backend.batches) == 1, (
+            "the aborting sweep submitted a fresh batch of resubmissions"
+        )
+
+    def test_inline_fatal_failure_skips_the_submission_flush(self):
+        """Synchronous backends fail at submit time; the post-burst flush
+        must not run once that failure is recorded."""
+
+        class FlushSpy(InProcessBackend):
+            flush_calls = 0
+
+            def flush(self):
+                type(self).flush_calls += 1
+
+        exploding = dataclasses.replace(registry.get("fig6-fig7"), point=_explode)
+        backend = FlushSpy()
+        with pytest.raises(RuntimeError, match="inline point failure"):
+            run_experiment(exploding, overrides=FIG67_TINY, backend=backend)
+        assert FlushSpy.flush_calls == 0
+
+
 # -- module-level point functions (must pickle by reference into workers) --
+
+
+def _explode(params):
+    raise RuntimeError("inline point failure")
 
 
 def _die_hard(params):

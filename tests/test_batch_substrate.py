@@ -1,0 +1,111 @@
+"""Table-driven tests for the shared batch-substrate parsing helpers.
+
+The satellite audit of ``_parse_sacct``/``_parse_squeue``/
+``_expand_indices`` confirmed two silent-drop bugs, pinned here:
+
+* SLURM's *stepped* array ranges (``--array=0-15:4`` prints as
+  ``[0-15:4]``) made ``expand_indices`` return ``[]``, so every task in
+  the range was never marked and burned ``unknown_grace`` polls before
+  being declared vanished.
+* squeue states were normalized differently from sacct states (no ``+``
+  truncation-marker strip), so the same task could oscillate between
+  "known" and "unknown" depending on which command reported it first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.backends.batch import expand_indices, normalize_state
+from repro.experiments.backends.slurm import _parse_sacct, _parse_squeue
+
+
+class TestExpandIndices:
+    @pytest.mark.parametrize(
+        "token, expected",
+        [
+            # the classic shapes
+            ("3", [3]),
+            ("[0-4]", [0, 1, 2, 3, 4]),
+            ("0,2-4", [0, 2, 3, 4]),
+            ("[0-8%2]", list(range(9))),  # %limit throttle stripped
+            # stepped ranges: sbatch --array=0-15:4 prints as [0-15:4]
+            ("[0-15:4]", [0, 4, 8, 12]),
+            ("0-8:2", [0, 2, 4, 6, 8]),
+            ("[0-8:2%3]", [0, 2, 4, 6, 8]),
+            ("1,4-8:2", [1, 4, 6, 8]),
+            # malformed input degrades chunk-by-chunk, never raises
+            ("", []),
+            ("garbage", []),
+            ("0-8:0", []),  # zero step would loop forever in SLURM too
+            ("0-8:x", []),
+            ("1,bad,3", [1, 3]),
+            ("5-3", []),  # empty range, not an error
+            ("[%2]", []),
+            (" 7 ", [7]),
+        ],
+    )
+    def test_expand(self, token, expected):
+        assert expand_indices(token) == expected
+
+
+class TestNormalizeState:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("COMPLETED", "COMPLETED"),
+            ("CANCELLED by 0", "CANCELLED"),  # sacct actor suffix
+            ("CANCELLED by user-1234", "CANCELLED"),
+            ("COMPLETED+", "COMPLETED"),  # truncation marker
+            ("running", "RUNNING"),
+            ("OUT_OF_MEMORY", "OUT_OF_MEMORY"),
+            ("  PENDING  ", "PENDING"),
+            ("", ""),  # whitespace-only input must not raise
+            ("   ", ""),
+            ("+", ""),
+        ],
+    )
+    def test_normalize(self, raw, expected):
+        assert normalize_state(raw) == expected
+
+
+class TestSacctEdges:
+    def test_stepped_bracket_range_is_expanded(self):
+        """Pre-fix, the stepped token expanded to [] and the tasks were
+        silently unmarked -- each burned unknown_grace polls."""
+        out = "123_[0-4:2]|FAILED\n123_1|COMPLETED\n"
+        assert _parse_sacct(out, "123") == {
+            0: "FAILED",
+            1: "COMPLETED",
+            2: "FAILED",
+            4: "FAILED",
+        }
+
+    def test_truncation_marker_and_actor_suffix_normalize(self):
+        out = "123_0|CANCELLED by 42\n123_1|COMPLETED+\n"
+        assert _parse_sacct(out, "123") == {0: "CANCELLED", 1: "COMPLETED"}
+
+    def test_whitespace_state_is_skipped_not_crashed(self):
+        out = "123_0|COMPLETED\n123_1|\n123_2|   \n"
+        assert _parse_sacct(out, "123") == {0: "COMPLETED"}
+
+    def test_foreign_jobs_and_steps_still_filtered(self):
+        out = "124_0|FAILED\n123_0.batch|COMPLETED\n123_0|RUNNING\n"
+        assert _parse_sacct(out, "123") == {0: "RUNNING"}
+
+
+class TestSqueueEdges:
+    def test_normalizes_like_sacct(self):
+        """squeue output now goes through the same normalize_state as
+        sacct, so a '+'-suffixed or multi-word state cannot make the same
+        task flip between known and unknown across commands."""
+        out = "0|COMPLETING+\n1|CANCELLED by 0\n"
+        assert _parse_squeue(out) == {0: "COMPLETING", 1: "CANCELLED"}
+
+    def test_stepped_range_is_expanded(self):
+        out = "0-8:4|PENDING\n"
+        assert _parse_squeue(out) == {0: "PENDING", 4: "PENDING", 8: "PENDING"}
+
+    def test_malformed_tokens_are_skipped(self):
+        out = "N/A|PENDING\n2|RUNNING\n"
+        assert _parse_squeue(out) == {2: "RUNNING"}

@@ -3,12 +3,13 @@
 The engine's load-bearing invariant is that a grid point's params dict
 (seed included) fully determines its simulation, so *where* it runs can
 never change the result.  This suite enforces that end to end: all
-registered experiments x {InProcess, LocalProcess, SSH-stub, SLURM-stub}
-must produce sweep results byte-identical to a ``--jobs 1`` serial run.
+registered experiments x {InProcess, LocalProcess, SSH-stub, SLURM-stub,
+k8s-stub} must produce sweep results byte-identical to a ``--jobs 1``
+serial run.
 
 The serial baselines are computed once per experiment (module-scoped
 fixture).  The in-process matrix is cheap and runs in the fast lane; the
-subprocess-heavy lanes (LocalProcess pools, SSH/SLURM stubs over all
+subprocess-heavy lanes (LocalProcess pools, SSH/SLURM/k8s stubs over all
 experiments) are ``slow``-marked, with a small unmarked smoke subset so
 the fast lane still crosses every backend.
 """
@@ -18,8 +19,10 @@ from __future__ import annotations
 import pytest
 
 from conftest import (
+    InMemoryK8sTransport,
     InMemorySlurmTransport,
     loopback_spec,
+    make_k8s_backend,
     make_slurm_backend,
 )
 from repro.cli import SCALE_PROFILES, _sweep_overrides
@@ -78,6 +81,8 @@ def run_on_backend(name: str, backend_kind: str, tmp_path, stub_ssh):
         backend = SSHBackend([loopback_spec()], ssh_command=stub_ssh)
     elif backend_kind == "slurm":
         backend = make_slurm_backend(tmp_path / "spool", InMemorySlurmTransport())
+    elif backend_kind == "k8s":
+        backend = make_k8s_backend(tmp_path / "spool", InMemoryK8sTransport())
     else:  # pragma: no cover - parametrization bug
         raise AssertionError(backend_kind)
     try:
@@ -110,7 +115,7 @@ class TestEquivalenceFastLane:
         report = run_on_backend(name, "inprocess", tmp_path, stub_ssh)
         assert_equivalent(report, serial_baseline(name), name, "inprocess")
 
-    @pytest.mark.parametrize("backend_kind", ["local", "ssh", "slurm"])
+    @pytest.mark.parametrize("backend_kind", ["local", "ssh", "slurm", "k8s"])
     @pytest.mark.parametrize("name", SMOKE_EXPERIMENTS)
     def test_smoke_subset_matches_serial(
         self, name, backend_kind, serial_baseline, tmp_path, stub_ssh
@@ -137,3 +142,8 @@ class TestEquivalenceFullMatrix:
     def test_slurm_stub_matches_serial(self, name, serial_baseline, tmp_path, stub_ssh):
         report = run_on_backend(name, "slurm", tmp_path, stub_ssh)
         assert_equivalent(report, serial_baseline(name), name, "slurm")
+
+    @pytest.mark.parametrize("name", ALL_EXPERIMENTS)
+    def test_k8s_stub_matches_serial(self, name, serial_baseline, tmp_path, stub_ssh):
+        report = run_on_backend(name, "k8s", tmp_path, stub_ssh)
+        assert_equivalent(report, serial_baseline(name), name, "k8s")

@@ -173,6 +173,33 @@ class TestCacheStore:
         assert cache.clear() == 2
         assert cache.entry_count() == 0
 
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path):
+        """A sweep killed between mkstemp and os.replace leaves a *.tmp
+        orphan that nothing ever reads; clear() must remove it too."""
+        cache = ResultCache(tmp_path, code_hash="h")
+        cache.put("t", {"a": 1}, 1)
+        orphan = cache.path(cache.key("t", {"a": 1})).parent / "tmporphan.tmp"
+        orphan.write_bytes(b"partial write")
+        assert cache.clear() == 1  # orphans are not entries: uncounted
+        assert not orphan.exists()
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_put_closes_fd_when_fdopen_fails(self, tmp_path, monkeypatch):
+        """os.fdopen raising must not leak mkstemp's raw fd or its file."""
+        import os
+
+        cache = ResultCache(tmp_path, code_hash="h")
+        closed = []
+        real_close = os.close
+        monkeypatch.setattr(os, "close", lambda fd: (closed.append(fd), real_close(fd)))
+        monkeypatch.setattr(
+            os, "fdopen", lambda fd, *a, **k: (_ for _ in ()).throw(MemoryError("no fds"))
+        )
+        with pytest.raises(MemoryError):
+            cache.put("t", {"a": 1}, 1)
+        assert closed, "the raw mkstemp fd was never closed"
+        assert not list(tmp_path.rglob("*.tmp")), "the temp file was left behind"
+
     def test_disabled_cache_never_stores(self, tmp_path):
         cache = ResultCache(tmp_path, code_hash="h", enabled=False)
         cache.put("t", {"a": 1}, 1)
