@@ -11,14 +11,29 @@ re-execution from the restored checkpoint.
 worked example, protocol unit tests): an explicit list of timed sends.
 
 :class:`Mailbox` is a minimal application sink recording deliveries.
+
+Snapshot support
+----------------
+
+A live generator cannot be pickled, so every application generator here is
+resumable by construction (see :class:`repro.sim.snapshot.GenSpec`): the
+factories return ``GenSpec`` objects instead of raw generators, each
+generator takes a trailing ``_phase`` dict it labels (``phase["at"]``)
+before every yield, and on restore the rebuilt generator reads that label
+once and jumps to a bare re-entry ``yield`` -- no side effects, no RNG
+draws -- so the pending kernel event resumes it exactly where the original
+was suspended.  The fresh path (empty phase dict) is behaviorally
+identical to the pre-snapshot generators: same draws from the same
+streams, same yields, same sends.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.network.message import Message, NodeId
 from repro.sim.process import Interrupt, Timeout
+from repro.sim.snapshot import GenSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.federation import Federation
@@ -48,16 +63,23 @@ class Mailbox:
         return [m.src for m in self.messages]
 
 
+class ComputeCommunicateFactory:
+    """Picklable factory for the default stochastic workload."""
+
+    __slots__ = ()
+
+    def __call__(self, node: "Node", federation: "Federation") -> GenSpec:
+        return GenSpec(_compute_communicate, node, federation)
+
+
 def compute_communicate_factory() -> AppFactory:
     """The default stochastic workload (the paper's application model)."""
-
-    def factory(node: "Node", federation: "Federation"):
-        return _compute_communicate(node, federation)
-
-    return factory
+    return ComputeCommunicateFactory()
 
 
-def _compute_communicate(node: "Node", federation: "Federation"):
+def _compute_communicate(
+    node: "Node", federation: "Federation", _phase: Optional[dict] = None
+):
     app = federation.application
     spec = app.spec_for(node.id.cluster)
     topology = federation.topology
@@ -69,16 +91,29 @@ def _compute_communicate(node: "Node", federation: "Federation"):
     choices = list(range(n_clusters)) + [None]
     weights = probs + [silence]
 
+    ph = _phase if _phase is not None else {}
+    gate = ph.get("at")
     try:
+        if gate == "drain":
+            # Restored mid final wait: the pending event ends the run.
+            yield
+            return
+        working = gate == "work"
         while True:
-            delay = stream.exponential(spec.mean_compute)
-            if node.sim.now + delay >= app.total_time:
-                # Work until the end of the application, then stop.
-                remaining = app.total_time - node.sim.now
-                if remaining > 0:
-                    yield Timeout(remaining)
-                return
-            yield Timeout(delay)
+            if working:
+                working = False
+                yield  # restored mid compute: pending Timeout resumes here
+            else:
+                delay = stream.exponential(spec.mean_compute)
+                if node.sim.now + delay >= app.total_time:
+                    # Work until the end of the application, then stop.
+                    remaining = app.total_time - node.sim.now
+                    if remaining > 0:
+                        ph["at"] = "drain"
+                        yield Timeout(remaining)
+                    return
+                ph["at"] = "work"
+                yield Timeout(delay)
             dst_cluster = stream.choice(choices, weights=weights)
             if dst_cluster is None:
                 continue
@@ -91,6 +126,50 @@ def _compute_communicate(node: "Node", federation: "Federation"):
             node.send_app(NodeId(dst_cluster, dst_node), spec.message_size)
     except Interrupt:
         return  # failure / rollback: the federation restarts us
+
+
+class ExchangeFactory:
+    """Picklable factory for request/response exchanges (§2.1)."""
+
+    __slots__ = (
+        "requester_cluster",
+        "responder_cluster",
+        "mean_compute",
+        "request_probability",
+        "request_size",
+        "reply_size",
+    )
+
+    def __init__(
+        self,
+        requester_cluster: int,
+        responder_cluster: int,
+        mean_compute: float,
+        request_probability: float,
+        request_size: int,
+        reply_size: int,
+    ):
+        self.requester_cluster = requester_cluster
+        self.responder_cluster = responder_cluster
+        self.mean_compute = mean_compute
+        self.request_probability = request_probability
+        self.request_size = request_size
+        self.reply_size = reply_size
+
+    def __call__(self, node: "Node", federation: "Federation") -> GenSpec:
+        if node.id.cluster == self.responder_cluster:
+            node.app_sink = _Responder(node, self.reply_size)
+        if node.id.cluster == self.requester_cluster:
+            return GenSpec(
+                _requester_loop,
+                node,
+                federation,
+                self.responder_cluster,
+                self.mean_compute,
+                self.request_probability,
+                self.request_size,
+            )
+        return GenSpec(_idle_forever, node)
 
 
 def exchange_factory(
@@ -110,30 +189,28 @@ def exchange_factory(
     The resulting bidirectional traffic is the §5.3 regime where SNs grow
     on both sides and most messages force CLCs.
     """
-
-    def factory(node: "Node", federation: "Federation"):
-        if node.id.cluster == responder_cluster:
-            node.app_sink = _make_responder(node, reply_size)
-        if node.id.cluster == requester_cluster:
-            return _requester_loop(
-                node,
-                federation,
-                responder_cluster,
-                mean_compute,
-                request_probability,
-                request_size,
-            )
-        return _idle_forever(node)
-
-    return factory
+    return ExchangeFactory(
+        requester_cluster,
+        responder_cluster,
+        mean_compute,
+        request_probability,
+        request_size,
+        reply_size,
+    )
 
 
-def _make_responder(node: "Node", reply_size: int):
-    def responder(msg: Message) -> None:
-        if msg.payload.get("request") and node.up:
-            node.send_app(msg.src, reply_size, payload={"reply": True})
+class _Responder:
+    """Picklable application sink: answer each request with one reply."""
 
-    return responder
+    __slots__ = ("node", "reply_size")
+
+    def __init__(self, node: "Node", reply_size: int):
+        self.node = node
+        self.reply_size = reply_size
+
+    def __call__(self, msg: Message) -> None:
+        if msg.payload.get("request") and self.node.up:
+            self.node.send_app(msg.src, self.reply_size, payload={"reply": True})
 
 
 def _requester_loop(
@@ -143,19 +220,32 @@ def _requester_loop(
     mean_compute: float,
     request_probability: float,
     request_size: int,
+    _phase: Optional[dict] = None,
 ):
     app = federation.application
     stream = federation.streams.stream(f"exchange/{node.id}")
     n_nodes = federation.topology.nodes_in(responder_cluster)
+    ph = _phase if _phase is not None else {}
+    gate = ph.get("at")
     try:
+        if gate == "drain":
+            yield
+            return
+        working = gate == "work"
         while True:
-            delay = stream.exponential(mean_compute)
-            if node.sim.now + delay >= app.total_time:
-                remaining = app.total_time - node.sim.now
-                if remaining > 0:
-                    yield Timeout(remaining)
-                return
-            yield Timeout(delay)
+            if working:
+                working = False
+                yield
+            else:
+                delay = stream.exponential(mean_compute)
+                if node.sim.now + delay >= app.total_time:
+                    remaining = app.total_time - node.sim.now
+                    if remaining > 0:
+                        ph["at"] = "drain"
+                        yield Timeout(remaining)
+                    return
+                ph["at"] = "work"
+                yield Timeout(delay)
             if not stream.bernoulli(request_probability):
                 continue
             dst = NodeId(responder_cluster, stream.randint(0, n_nodes - 1))
@@ -164,11 +254,28 @@ def _requester_loop(
         return
 
 
-def _idle_forever(node: "Node"):
+def _idle_forever(node: "Node", _phase: Optional[dict] = None):
+    ph = _phase if _phase is not None else {}
     try:
+        if ph.get("at") == "idle":
+            yield
+            return
+        ph["at"] = "idle"
         yield Timeout(float("1e18"))
     except Interrupt:
         return
+
+
+class ScriptedSenderFactory:
+    """Picklable factory for deterministic timed-send scripts."""
+
+    __slots__ = ("scripts",)
+
+    def __init__(self, scripts: dict):
+        self.scripts = {nid: tuple(sorted(items)) for nid, items in scripts.items()}
+
+    def __call__(self, node: "Node", federation: "Federation") -> GenSpec:
+        return GenSpec(_scripted, node, self.scripts.get(node.id, ()))
 
 
 def scripted_sender_factory(scripts: dict) -> AppFactory:
@@ -178,18 +285,29 @@ def scripted_sender_factory(scripts: dict) -> AppFactory:
         ``(time, dst, size)`` send instructions (absolute times, sorted).
         Nodes without a script idle forever.
     """
-
-    normalized = {nid: sorted(items) for nid, items in scripts.items()}
-
-    def factory(node: "Node", federation: "Federation"):
-        return _scripted(node, normalized.get(node.id, ()))
-
-    return factory
+    return ScriptedSenderFactory(scripts)
 
 
-def _scripted(node: "Node", script: Iterable[tuple]):
+def _scripted(node: "Node", script: Iterable[tuple], _phase: Optional[dict] = None):
+    script = tuple(script)
+    ph = _phase if _phase is not None else {}
+    gate = ph.get("at")
     try:
-        for at, dst, size in script:
+        if gate == "idle":
+            yield
+            return
+        start = 0
+        if gate == "send":
+            # Restored mid wait for instruction ph["i"]: its Timeout is the
+            # pending event, so commit the send without re-checking its
+            # time (the original had already passed the `at < now` guard).
+            yield
+            idx = ph["i"]
+            _at, dst, size = script[idx]
+            node.send_app(dst, size)
+            start = idx + 1
+        for idx in range(start, len(script)):
+            at, dst, size = script[idx]
             # A restarted script (post-rollback re-execution) skips the
             # instructions whose time already passed: deterministic
             # scenarios assert on protocol state, not on re-sent traffic.
@@ -197,9 +315,12 @@ def _scripted(node: "Node", script: Iterable[tuple]):
                 continue
             delay = at - node.sim.now
             if delay > 0:
+                ph["at"] = "send"
+                ph["i"] = idx
                 yield Timeout(delay)
             node.send_app(dst, size)
         # Stay alive (idle) so joins behave uniformly.
+        ph["at"] = "idle"
         yield Timeout(float("1e18"))
     except Interrupt:
         return

@@ -81,7 +81,7 @@ class GlobalCoordinatedProtocol(BaseProtocol):
         return self.federation.clusters[0].leader
 
     def _timer_fired(self) -> None:
-        if self.phase is self.IDLE and not self.recovering:
+        if self.phase == self.IDLE and not self.recovering:
             self._initiate()
 
     # ------------------------------------------------------------------
@@ -104,7 +104,7 @@ class GlobalCoordinatedProtocol(BaseProtocol):
             self._commit()
 
     def on_ack(self, msg: Message) -> None:
-        if self.phase is not self.COLLECTING:
+        if self.phase != self.COLLECTING:
             return
         self._acks_pending.discard(msg.src)
         if not self._acks_pending:

@@ -23,6 +23,7 @@ rollback depths, and property tests verify it against brute force.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -131,12 +132,14 @@ class IndependentProtocol(BaseProtocol):
         for i in range(n):
             period = federation.timers.clc_period_for(i)
             self.timers_.append(
-                PeriodicTimer(self.sim, period, self._make_timer_action(i), name=f"ind-c{i}")
+                PeriodicTimer(
+                    self.sim,
+                    period,
+                    functools.partial(self._initiate, i),
+                    name=f"ind-c{i}",
+                )
             )
         self._agents: dict = {}
-
-    def _make_timer_action(self, cluster: int):
-        return lambda: self._initiate(cluster)
 
     # ------------------------------------------------------------------
     def make_agent(self, node: "Node") -> "IndependentAgent":

@@ -301,6 +301,37 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        metavar="SIM_SECONDS",
+        help=(
+            "snapshot each running grid point every SIM_SECONDS of simulated "
+            "time, so a requeued (lost/evicted) point resumes from its latest "
+            "snapshot instead of recomputing from zero (see docs/sweeps.md)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-wall",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock throttle: skip an interval snapshot when the previous "
+            "one was written less than SECONDS ago (requires --checkpoint-every)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "snapshot spool directory (default: <cache dir>/checkpoints, or "
+            "<spool>/snapshots for the slurm/k8s backends; requires "
+            "--checkpoint-every)"
+        ),
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit the reduced result as JSON instead of tables",
@@ -355,6 +386,13 @@ def _sweep_main(argv: Sequence[str]) -> int:
             f"--namespace/--k8s-opt only apply to --backend k8s "
             f"(got --backend {args.backend})"
         )
+    if (
+        args.checkpoint_wall is not None or args.checkpoint_dir
+    ) and args.checkpoint_every is None:
+        # same rule as --set/--hosts: an explicit flag is never a silent no-op
+        raise SystemExit(
+            "--checkpoint-wall/--checkpoint-dir require --checkpoint-every"
+        )
     backend_kwargs: dict = {}
     if args.backend in ("slurm", "k8s"):
         if args.spool:
@@ -376,12 +414,45 @@ def _sweep_main(argv: Sequence[str]) -> int:
         # this process's python is the right default, on a real cluster
         # $REPRO_K8S_PYTHON names the interpreter inside the image
         backend_kwargs["python"] = os.environ.get("REPRO_K8S_PYTHON", sys.executable)
+    checkpoint_env: dict = {}
+    if args.checkpoint_every is not None:
+        from pathlib import Path
+
+        from repro.experiments import checkpoint as checkpoint_mod
+        from repro.experiments.cache import default_cache_dir
+
+        if args.backend in ("slurm", "k8s"):
+            # the policy travels inside each wire job; snapshots default to
+            # <spool>/snapshots so compute nodes/pods can reach them
+            policy: dict = {
+                "every": args.checkpoint_every,
+                "wall": args.checkpoint_wall,
+            }
+            if args.checkpoint_dir:
+                policy["dir"] = args.checkpoint_dir
+            backend_kwargs["checkpoint"] = policy
+        else:
+            # local/ssh: workers pick the policy up from the environment
+            root = Path(cache.root) if cache is not None else default_cache_dir()
+            ckpt_dir = (
+                Path(args.checkpoint_dir)
+                if args.checkpoint_dir
+                else root / "checkpoints"
+            )
+            checkpoint_env = {
+                checkpoint_mod.ENV_EVERY: str(args.checkpoint_every),
+                checkpoint_mod.ENV_DIR: str(ckpt_dir),
+            }
+            if args.checkpoint_wall is not None:
+                checkpoint_env[checkpoint_mod.ENV_WALL] = str(args.checkpoint_wall)
     try:
         backend = create_backend(
             args.backend, jobs=args.jobs, hosts=args.hosts, **backend_kwargs
         )
     except ValueError as exc:
         raise SystemExit(f"repro sweep: {exc}") from None
+    saved_env = {k: os.environ.get(k) for k in checkpoint_env}
+    os.environ.update(checkpoint_env)
     try:
         report = run_experiment(
             experiment,
@@ -392,6 +463,11 @@ def _sweep_main(argv: Sequence[str]) -> int:
         )
     finally:
         backend.shutdown()
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
     result = report.result
     if args.json:
         payload = {

@@ -24,6 +24,7 @@ heartbeat_timeout=...)``.
 
 from __future__ import annotations
 
+import functools
 from typing import TYPE_CHECKING
 
 from repro.network.message import Message, MessageKind, NodeId
@@ -63,12 +64,12 @@ class HeartbeatDetector:
         now = self.federation.sim.now
         for cluster in self.federation.clusters:
             for node in cluster.nodes:
-                node.system_hook = self._hook_for(node)
+                node.system_hook = self._on_heartbeat
                 self._last_heard[node.id] = now
             timer = PeriodicTimer(
                 self.federation.sim,
                 self.period,
-                self._make_tick(cluster.index),
+                functools.partial(self._tick, cluster.index),
                 name=f"heartbeat-c{cluster.index}",
             )
             timer.start()
@@ -82,17 +83,12 @@ class HeartbeatDetector:
         return NodeId(node_id.cluster, 0)
 
     # ------------------------------------------------------------------
-    def _hook_for(self, node: "Node"):
-        def hook(msg: Message) -> bool:
-            if msg.kind is not MessageKind.HEARTBEAT:
-                return False
-            self._last_heard[msg.src] = self.federation.sim.now
-            return True
-
-        return hook
-
-    def _make_tick(self, cluster_index: int):
-        return lambda: self._tick(cluster_index)
+    def _on_heartbeat(self, msg: Message) -> bool:
+        """System hook installed on every node: consume heartbeat traffic."""
+        if msg.kind is not MessageKind.HEARTBEAT:
+            return False
+        self._last_heard[msg.src] = self.federation.sim.now
+        return True
 
     def _tick(self, cluster_index: int) -> None:
         """Send this round's heartbeats, then sweep for silent nodes."""

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.network.message import NodeId
 from repro.sim.process import Process, Timeout
+from repro.sim.snapshot import GenSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.federation import Federation
@@ -53,19 +54,31 @@ class FailureInjector:
         self._process: Optional[Process] = None
 
     def start(self) -> None:
+        spec = GenSpec(self._run)
         self._process = Process(
-            self.federation.sim, self._run(), name="failure-injector"
+            self.federation.sim, spec.make(), name="failure-injector", gen_spec=spec
         )
 
     # ------------------------------------------------------------------
-    def _run(self):
+    def _run(self, _phase=None):
         fed = self.federation
         end = fed.application.total_time
+        ph = _phase if _phase is not None else {}
+        gate = ph.get("at")
         while True:
-            delay = self.stream.exponential(self.mtbf)
-            if fed.sim.now + delay >= end:
-                return
-            yield Timeout(delay)
+            if gate == "armed":
+                gate = None
+                yield  # restored mid fault countdown: pending Timeout resumes here
+            elif gate == "recovery":
+                gate = None
+                yield  # restored awaiting recovery: pending Signal resumes here
+                continue
+            else:
+                delay = self.stream.exponential(self.mtbf)
+                if fed.sim.now + delay >= end:
+                    return
+                ph["at"] = "armed"
+                yield Timeout(delay)
             node = self._pick_victim()
             if node is None:
                 continue
@@ -75,6 +88,7 @@ class FailureInjector:
             if not self.allow_simultaneous:
                 # One fault at a time: wait until the protocol reports the
                 # faulty cluster recovered before arming the next one.
+                ph["at"] = "recovery"
                 yield fed.recovery_signal(node.id.cluster)
 
     def _cluster_healthy(self, cluster_index: int) -> bool:

@@ -30,9 +30,11 @@ from repro.core.protocol import BaseProtocol, make_protocol
 from repro.network.fabric import Fabric
 from repro.network.message import NodeId
 from repro.network.topology import Topology
+from repro.sim import snapshot as snapshot_mod
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process, Signal
 from repro.sim.random import RandomStreams
+from repro.sim.snapshot import GenSpec, SimClock
 from repro.sim.stats import StatsRegistry
 from repro.sim.trace import TraceLevel, Tracer
 
@@ -67,7 +69,7 @@ class Federation:
         self.protocol_name = protocol
 
         self.sim = Simulator()
-        clock = lambda: self.sim.now  # noqa: E731
+        clock = SimClock(self.sim)
         self.streams = RandomStreams(seed)
         self.stats = StatsRegistry(clock)
         self.tracer = Tracer(clock, trace_level)
@@ -133,13 +135,25 @@ class Federation:
         """Run to ``until`` (default: the application's total time)."""
         self.start()
         horizon = until if until is not None else self.application.total_time
-        self.sim.run(until=horizon)
+        driver = snapshot_mod._drive_hook
+        if driver is not None:
+            # Checkpointing active: the driver slices sim.run() into
+            # intervals and snapshots between slices (it may also restore
+            # this federation in place before running).  The dispatch
+            # stream is identical either way.
+            driver(self, horizon)
+        else:
+            self.sim.run(until=horizon)
         return self.results()
 
     def _start_app(self, node: Node) -> None:
-        node.app_process = Process(
-            self.sim, self.app_factory(node, self), name=f"app-{node.id}"
-        )
+        made = self.app_factory(node, self)
+        if isinstance(made, GenSpec):
+            node.app_process = Process(
+                self.sim, made.make(), name=f"app-{node.id}", gen_spec=made
+            )
+        else:
+            node.app_process = Process(self.sim, made, name=f"app-{node.id}")
 
     # ------------------------------------------------------------------
     # hooks used by protocols

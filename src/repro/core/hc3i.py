@@ -216,7 +216,7 @@ class ClcCoordinator:
             tracer.debug("clc_timer_fired", cluster=self.cluster)
         if self.cs.recovering:
             return
-        if self.phase is not self.IDLE or self.pending_request:
+        if self.phase != self.IDLE or self.pending_request:
             return  # a CLC is being established right now anyway
         self.initiate(CheckpointCause.TIMER)
 
@@ -237,7 +237,7 @@ class ClcCoordinator:
         elif not self.pending_request:
             self.pending_cause = cause
         self.pending_request = True
-        if self.phase is self.IDLE and not self.cs.recovering:
+        if self.phase == self.IDLE and not self.cs.recovering:
             self._begin_round()
 
     def scrub(self, faulty: int, alert_sn: int) -> None:
@@ -288,7 +288,7 @@ class ClcCoordinator:
             self._commit()
 
     def on_ack(self, msg: Message) -> None:
-        if self.phase is not self.COLLECTING:
+        if self.phase != self.COLLECTING:
             return  # stale ack from an aborted round
         node_idx = msg.src.node
         if node_idx not in self._acks_pending:
@@ -345,7 +345,7 @@ class ClcCoordinator:
             self.protocol.sim.schedule(0.0, self._begin_if_pending)
 
     def _begin_if_pending(self) -> None:
-        if self.phase is self.IDLE and self.pending_request and not self.cs.recovering:
+        if self.phase == self.IDLE and self.pending_request and not self.cs.recovering:
             self._begin_round()
 
 

@@ -49,6 +49,7 @@ from concurrent.futures import Future, InvalidStateError
 from pathlib import Path
 from typing import Optional
 
+from repro.experiments import checkpoint as checkpoint_mod
 from repro.experiments.backends.base import (
     Backend,
     BackendUnavailableError,
@@ -200,6 +201,7 @@ class BatchBackend(Backend):
         completed_grace: int = 5,
         keep_spool: bool = False,
         verify_code: bool = True,
+        checkpoint: Optional[dict] = None,
     ) -> None:
         self.transport = transport
         self.spool = Path(spool)
@@ -214,6 +216,13 @@ class BatchBackend(Backend):
         self.completed_grace = max(1, int(completed_grace))
         self.keep_spool = keep_spool
         self.verify_code = verify_code
+        # Checkpoint policy shipped with every wire job ({"every", "wall",
+        # "dir"}): snapshots land next to the spool by default, so a
+        # requeued task (fresh batch, same key) finds its predecessor's
+        # latest envelope and resumes instead of recomputing.
+        self.checkpoint = dict(checkpoint) if checkpoint else None
+        if self.checkpoint is not None and not self.checkpoint.get("dir"):
+            self.checkpoint["dir"] = str(self.spool / "snapshots")
 
         self._cond = threading.Condition()
         self._buffer: list = []
@@ -360,7 +369,11 @@ class BatchBackend(Backend):
             (job_dir / "results").mkdir()
             (job_dir / "logs").mkdir()
             for i, slot in enumerate(slots):
-                wire = make_wire_job(slot.task.experiment, slot.task.params)
+                wire = make_wire_job(
+                    slot.task.experiment,
+                    slot.task.params,
+                    checkpoint=self._wire_checkpoint(slot.task),
+                )
                 (job_dir / "tasks" / f"{i}.json").write_text(
                     json.dumps(wire, sort_keys=True), encoding="utf-8"
                 )
@@ -375,6 +388,22 @@ class BatchBackend(Backend):
             return
         with self._cond:
             self._jobs.append(BatchJob(job_id, job_dir, slots))
+
+    def _wire_checkpoint(self, task: PointTask) -> Optional[dict]:
+        """The snapshot ref this task ships: policy + its stable point key.
+
+        The key is derived from (code, experiment, params) -- identical
+        for the original submission and every requeue -- which is what
+        lets attempt N+1 pick up attempt N's latest snapshot.
+        """
+        if self.checkpoint is None:
+            return None
+        return {
+            "every": self.checkpoint.get("every"),
+            "wall": self.checkpoint.get("wall"),
+            "dir": self.checkpoint["dir"],
+            "key": checkpoint_mod.point_key(task.experiment, task.params),
+        }
 
     @staticmethod
     def _fail_slots(slots: list, exc: BaseException) -> None:
@@ -473,6 +502,10 @@ class BatchBackend(Backend):
         shutil.rmtree(job.dir, ignore_errors=True)
 
     def _cleanup_sweep_dir(self) -> None:
+        if self.checkpoint is not None and not self.keep_spool:
+            # killed writers leave *.tmp behind; snapshots of completed
+            # points were GC'd as they finished
+            checkpoint_mod.sweep_orphans(self.checkpoint["dir"])
         if self._sweep_dir is None or self.keep_spool:
             return
         try:

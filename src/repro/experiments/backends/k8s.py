@@ -270,6 +270,7 @@ class KubernetesBackend(BatchBackend):
         completed_grace: int = 5,
         keep_spool: bool = False,
         verify_code: bool = True,
+        checkpoint: Optional[dict] = None,
     ) -> None:
         super().__init__(
             transport=(
@@ -289,6 +290,7 @@ class KubernetesBackend(BatchBackend):
             completed_grace=completed_grace,
             keep_spool=keep_spool,
             verify_code=verify_code,
+            checkpoint=checkpoint,
         )
         self.namespace = namespace
         self.image = image

@@ -21,6 +21,7 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Optional
 
+from repro.experiments import checkpoint
 from repro.experiments.backends.base import (
     Backend,
     BackendUnavailableError,
@@ -77,11 +78,15 @@ class LocalProcessBackend(Backend):
         # the registry there as a side effect.
         outer: Future = Future()
         try:
-            inner = self._ensure_pool().submit(_timed_point, task.fn, task.params)
+            inner = self._ensure_pool().submit(
+                _timed_point, task.fn, task.params, task.experiment
+            )
         except BrokenProcessPool:
             # the previous pool died; build a fresh one so a retry can run
             self._discard_pool()
-            inner = self._ensure_pool().submit(_timed_point, task.fn, task.params)
+            inner = self._ensure_pool().submit(
+                _timed_point, task.fn, task.params, task.experiment
+            )
         inner.add_done_callback(lambda fut: self._finish(outer, fut))
         return outer
 
@@ -165,22 +170,29 @@ class InProcessBackend(Backend):
             self.kill_host(host)
             raise WorkerLostError(host, "fault injected")
         start = time.perf_counter()
-        value = task.fn(task.params)
+        value = checkpoint.run_point(task.fn, task.params, experiment=task.experiment)
         return PointOutcome(value=value, host=host, elapsed=time.perf_counter() - start)
 
     def hosts(self) -> list:
         return [h for h in self._hosts if h in self._alive]
 
 
-def _timed_point(fn: Callable[[dict], object], params: dict) -> tuple:
-    """Worker-side wrapper: run a point and report its wall time."""
+def _timed_point(
+    fn: Callable[[dict], object], params: dict, experiment: Optional[str] = None
+) -> tuple:
+    """Worker-side wrapper: run a point and report its wall time.
+
+    Routed through :func:`checkpoint.run_point` so pool workers honor the
+    ``$REPRO_CHECKPOINT_*`` environment (inherited at fork/spawn) exactly
+    as batch workers honor their wire policy.
+    """
     start = time.perf_counter()
-    value = fn(params)
+    value = checkpoint.run_point(fn, params, experiment=experiment)
     return value, time.perf_counter() - start
 
 
 def _run_inline(task: PointTask) -> PointOutcome:
-    value, elapsed = _timed_point(task.fn, task.params)
+    value, elapsed = _timed_point(task.fn, task.params, task.experiment)
     return PointOutcome(value=value, host=LOCAL_HOST, elapsed=elapsed)
 
 

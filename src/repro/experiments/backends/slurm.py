@@ -275,6 +275,7 @@ class SlurmBackend(BatchBackend):
         completed_grace: int = 5,
         keep_spool: bool = False,
         verify_code: bool = True,
+        checkpoint: Optional[dict] = None,
     ) -> None:
         super().__init__(
             transport=transport if transport is not None else SlurmCliTransport(),
@@ -290,6 +291,7 @@ class SlurmBackend(BatchBackend):
             completed_grace=completed_grace,
             keep_spool=keep_spool,
             verify_code=verify_code,
+            checkpoint=checkpoint,
         )
         self.sbatch_options = tuple(sbatch_options)
 

@@ -1,0 +1,486 @@
+"""Checkpoint/resume policy for sweep points (the paper's medicine, taken).
+
+:mod:`repro.sim.snapshot` knows how to freeze and thaw a live federation;
+this module decides *when* -- simulated-time intervals and wall-clock
+throttles -- and *where* -- write-then-rename envelopes in the sweep
+spool, keyed like result-cache entries -- and wires restore into the
+point-execution path so a requeued (evicted) grid point resumes from its
+latest snapshot instead of recomputing from zero.
+
+How it plugs in
+---------------
+
+:func:`run_point` wraps every point execution (in-process runners, the
+local process pool, and ``remote_worker`` all route through it).  When a
+checkpoint config is active -- from an :func:`activate` block, from the
+``$REPRO_CHECKPOINT_*`` environment, or shipped in the wire job -- it
+installs :meth:`CheckpointConfig.drive` as the federation run hook:
+instead of one ``sim.run(until=horizon)``, the driver slices the run into
+``every``-second intervals and snapshots the federation between slices.
+Slicing adds *zero* simulated events, so the dispatch stream (and hence
+the trace digest) is bit-identical to the uninterrupted run.
+
+On entry, each ``Federation.run`` call checks for its own envelope
+(``<key>.c<call>.ckpt``): an ``inflight`` snapshot is restored *in place*
+(the caller's federation object is transplanted with the restored state,
+so multi-phase experiments that hold the federation across several
+``run()`` calls keep working) and the run resumes from the snapshot's
+simulated time; a ``completed`` envelope short-circuits the call
+entirely.  Corrupt or stale envelopes (different ``code_version_hash``,
+exactly the cache-sync rule) are discarded with a warning and the point
+runs from zero -- a damaged snapshot must never crash a sweep or, worse,
+poison its results.
+
+Once a point finishes, a ``<key>.done.json`` manifest records the
+per-call digests (CI's resume-equivalence lane compares these) and the
+superseded ``.ckpt`` envelopes are garbage-collected.
+
+Fault injection for tests and CI: ``$REPRO_CHECKPOINT_KILL_EVENT=N``
+raises :class:`SimulatedEviction` -- a ``BaseException``, so it sails
+past the worker's failure envelope -- after N more dispatched events,
+which to the batch backend looks exactly like a worker dying mid-point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time as _time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator, Optional
+
+from repro.experiments.cache import code_version_hash
+from repro.sim import snapshot
+from repro.sim.snapshot import SnapshotError, StaleSnapshotError
+from repro.sim.trace_digest import ChainedTraceDigest
+
+__all__ = [
+    "CheckpointConfig",
+    "SimulatedEviction",
+    "activate",
+    "from_env",
+    "from_wire",
+    "gc_for",
+    "gc_point",
+    "point_key",
+    "run_point",
+    "sweep_orphans",
+]
+
+ENV_EVERY = "REPRO_CHECKPOINT_EVERY"
+ENV_WALL = "REPRO_CHECKPOINT_WALL"
+ENV_DIR = "REPRO_CHECKPOINT_DIR"
+ENV_KILL = "REPRO_CHECKPOINT_KILL_EVENT"
+
+#: config installed by :func:`activate` for the current thread of execution
+_active: Optional["CheckpointConfig"] = None
+
+
+class SimulatedEviction(BaseException):
+    """Injected mid-run death (CI fault injection).
+
+    A ``BaseException`` on purpose: the worker's ``except Exception``
+    failure envelope must *not* catch it -- a real eviction writes no
+    result file at all, and this has to look the same to the backend.
+    """
+
+
+class _EvictingDigest:
+    """Digest wrapper that kills the run after a budgeted number of events.
+
+    Wraps the real digest so the countdown sees every dispatched event;
+    ``snapshot_safe`` is False so a snapshot taken between slices stores
+    the *inner* digest (the wrapper is swapped out around each write --
+    the kill budget is per-attempt state and must not resurrect on
+    resume).
+    """
+
+    __slots__ = ("inner", "cfg")
+
+    snapshot_safe = False
+
+    def __init__(self, inner, cfg: "CheckpointConfig"):
+        self.inner = inner
+        self.cfg = cfg
+
+    def update(self, time: float, seq: int, fn) -> None:
+        self.inner.update(time, seq, fn)
+        remaining = self.cfg._kill_remaining - 1
+        self.cfg._kill_remaining = remaining
+        if remaining <= 0:
+            raise SimulatedEviction(
+                f"simulated eviction after event #{self.inner.events}"
+            )
+
+    @property
+    def events(self) -> int:
+        return self.inner.events
+
+    def hexdigest(self) -> str:
+        return self.inner.hexdigest()
+
+    def summary(self) -> dict:
+        return self.inner.summary()
+
+
+class CheckpointConfig:
+    """One point-execution's checkpoint policy and progress."""
+
+    def __init__(
+        self,
+        every: Optional[float] = None,
+        wall: Optional[float] = None,
+        directory: Optional[Path] = None,
+        key: Optional[str] = None,
+        kill_at_event: Optional[int] = None,
+    ):
+        if every is not None and every <= 0:
+            raise ValueError(f"checkpoint interval must be positive: {every}")
+        if wall is not None and wall < 0:
+            raise ValueError(f"wall-clock throttle must be >= 0: {wall}")
+        self.every = every
+        self.wall = wall
+        self.directory = Path(directory) if directory is not None else None
+        self.key = key
+        self.kill_at_event = kill_at_event
+        # per-attempt state
+        self._calls = 0
+        self._kill_remaining = kill_at_event
+        self._call_records: list = []
+        self._last_write: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _snapshot_path(self, idx: int) -> Optional[Path]:
+        if self.directory is None or self.key is None:
+            return None
+        return self.directory / f"{self.key}.c{idx}.ckpt"
+
+    def _record_call(self, idx: int, digest, events, sim_time, resumed_at=None) -> None:
+        self._call_records.append(
+            {
+                "call": idx,
+                "digest": digest,
+                "events": events,
+                "sim_time": sim_time,
+                "resumed_at": resumed_at,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def drive(self, fed, horizon: float) -> None:
+        """The ``Federation.run`` hook: restore, slice, snapshot.
+
+        Must dispatch exactly the events ``sim.run(until=horizon)`` would:
+        slicing stops and restarts the kernel loop from the *outside*, so
+        no simulated event is added, reordered, or dropped.
+        """
+        idx = self._calls
+        self._calls += 1
+        resumed_at = None
+        path = self._snapshot_path(idx)
+        if path is not None and path.exists():
+            header = self._try_restore(fed, path)
+            if header is not None and header.get("state") == "completed":
+                # This run() call already finished in a previous attempt;
+                # the transplant put its final state in place.
+                self._record_call(
+                    idx,
+                    digest=header.get("digest"),
+                    events=header.get("events"),
+                    sim_time=header.get("sim_time"),
+                    resumed_at=header.get("sim_time"),
+                )
+                return
+            if header is not None:
+                resumed_at = header.get("sim_time")
+        sim = fed.sim  # re-fetch: _try_restore may have transplanted fed
+        if sim._digest is None:
+            # Chained (picklable) digest so kill-and-resume comparisons
+            # can span snapshots; never clobber an explicitly attached one.
+            sim.attach_digest(ChainedTraceDigest())
+        wrapper = None
+        if self.kill_at_event is not None:
+            wrapper = _EvictingDigest(sim._digest, self)
+            sim.attach_digest(wrapper)
+        try:
+            if self.every is None:
+                sim.run(until=horizon)
+            else:
+                while True:
+                    if sim._stopped or sim.now >= horizon:
+                        break
+                    target = min(sim.now + self.every, horizon)
+                    sim.run(until=target)
+                    if sim._stopped or target >= horizon:
+                        break
+                    self._write_snapshot(fed, idx, state="inflight")
+        finally:
+            if wrapper is not None and sim._digest is wrapper:
+                sim.attach_digest(wrapper.inner)
+        self._write_snapshot(fed, idx, state="completed", force=True)
+        digest = fed.sim._digest
+        self._record_call(
+            idx,
+            digest=digest.hexdigest() if digest is not None else None,
+            events=digest.events if digest is not None else None,
+            sim_time=fed.sim.now,
+            resumed_at=resumed_at,
+        )
+
+    def _try_restore(self, fed, path: Path) -> Optional[dict]:
+        """Transplant the envelope's state into ``fed``; header on success.
+
+        Any unusable snapshot -- corrupt, truncated, or from different
+        sources -- is discarded (with a warning) and the call runs from
+        zero: resume is an optimization, never a correctness hazard.
+        """
+        try:
+            header, payload = snapshot.read_envelope(path)
+            if header.get("code") != code_version_hash():
+                raise StaleSnapshotError(
+                    f"snapshot {path} was taken by a different repro version"
+                )
+            restored = snapshot.loads(payload)
+        except SnapshotError as exc:
+            print(
+                f"checkpoint: discarding unusable snapshot {path.name}: {exc}",
+                file=sys.stderr,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        # In-place transplant: callers (and experiment code between run()
+        # calls) hold references to this federation object, so it must
+        # *become* the restored one rather than be replaced by it.
+        fed.__dict__.update(restored.__dict__)
+        return header
+
+    def _write_snapshot(self, fed, idx: int, state: str, force: bool = False) -> None:
+        path = self._snapshot_path(idx)
+        if path is None:
+            return
+        if not force and self.wall is not None:
+            now = _time.monotonic()
+            if self._last_write is not None and now - self._last_write < self.wall:
+                return  # wall-clock throttle: skip this interval boundary
+        sim = fed.sim
+        digest = sim._digest
+        swapped = isinstance(digest, _EvictingDigest)
+        if swapped:
+            # The kill wrapper is per-attempt; snapshot the inner digest
+            # so a resumed attempt continues the chain, not the countdown.
+            sim.attach_digest(digest.inner)
+        try:
+            payload = snapshot.dumps(fed)
+        finally:
+            if swapped:
+                sim.attach_digest(digest)
+        inner = digest.inner if swapped else digest
+        meta = {
+            "code": code_version_hash(),
+            "state": state,
+            "key": self.key,
+            "call": idx,
+            "sim_time": sim.now,
+            "digest": inner.hexdigest() if inner is not None else None,
+            "events": inner.events if inner is not None else None,
+        }
+        snapshot.write_envelope(path, meta, payload)
+        self._last_write = _time.monotonic()
+
+
+# ---------------------------------------------------------------------------
+# config sources
+
+
+def from_env(environ=None) -> Optional[CheckpointConfig]:
+    """Config from ``$REPRO_CHECKPOINT_*``, or ``None`` when unset."""
+    env = os.environ if environ is None else environ
+    every = env.get(ENV_EVERY)
+    wall = env.get(ENV_WALL)
+    directory = env.get(ENV_DIR)
+    if not every and not wall and not directory:
+        return None
+    return CheckpointConfig(
+        every=float(every) if every else None,
+        wall=float(wall) if wall else None,
+        directory=Path(directory) if directory else None,
+    )
+
+
+def from_wire(wire) -> Optional[CheckpointConfig]:
+    """Config from a wire job's ``checkpoint`` field (see remote_worker)."""
+    if not wire:
+        return None
+    return CheckpointConfig(
+        every=wire.get("every"),
+        wall=wire.get("wall"),
+        directory=Path(wire["dir"]) if wire.get("dir") else None,
+        key=wire.get("key"),
+    )
+
+
+def point_key(experiment: str, params: dict) -> str:
+    """Stable snapshot key for one grid point (the result-cache recipe)."""
+    material = {
+        "code": code_version_hash(),
+        "experiment": experiment,
+        "params": {k: params[k] for k in sorted(params)},
+    }
+    blob = json.dumps(material, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@contextmanager
+def activate(cfg: CheckpointConfig) -> Iterator[CheckpointConfig]:
+    """Install ``cfg`` as the active checkpoint policy for this block."""
+    global _active
+    prev_active = _active
+    prev_hook = snapshot._drive_hook
+    _active = cfg
+    snapshot._drive_hook = cfg.drive
+    try:
+        yield cfg
+    finally:
+        _active = prev_active
+        snapshot._drive_hook = prev_hook
+
+
+# ---------------------------------------------------------------------------
+# point execution
+
+
+def run_point(
+    fn: Callable[[dict], Any],
+    params: dict,
+    experiment: Optional[str] = None,
+    wire: Optional[dict] = None,
+) -> Any:
+    """Run one grid point under the applicable checkpoint policy.
+
+    Policy precedence: an explicit ``wire`` job field, then an
+    :func:`activate` block, then the environment.  With no policy and no
+    kill injection this is exactly ``fn(params)``.
+    """
+    if wire:
+        base = from_wire(wire)
+    else:
+        base = _active if _active is not None else from_env()
+    kill_env = os.environ.get(ENV_KILL)
+    kill = int(kill_env) if kill_env else None
+    if base is None and kill is None:
+        return fn(params)
+    if base is None:
+        cfg = CheckpointConfig(kill_at_event=kill)
+    else:
+        key = base.key
+        if key is None and base.directory is not None and experiment is not None:
+            key = point_key(experiment, params)
+        # Fresh per-point config: _calls/_kill_remaining/_call_records are
+        # attempt state and must not leak between points.
+        cfg = CheckpointConfig(
+            every=base.every,
+            wall=base.wall,
+            directory=base.directory,
+            key=key,
+            kill_at_event=kill if kill is not None else base.kill_at_event,
+        )
+    with activate(cfg):
+        value = fn(params)
+    if cfg.directory is not None and cfg.key is not None:
+        write_done_manifest(cfg, experiment)
+        gc_point(cfg.directory, cfg.key)
+    return value
+
+
+def write_done_manifest(cfg: CheckpointConfig, experiment: Optional[str]) -> Path:
+    """Record the finished point's per-call digests (atomic write).
+
+    Written *before* the snapshots are GC'd so the resume-equivalence
+    check always has the digests, even though the envelopes are gone.
+    """
+    path = cfg.directory / f"{cfg.key}.done.json"
+    doc = {
+        "format": snapshot.FORMAT,
+        "code": code_version_hash(),
+        "key": cfg.key,
+        "experiment": experiment,
+        "calls": cfg._call_records,
+    }
+    blob = json.dumps(doc, sort_keys=True).encode("utf-8") + b"\n"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        fh = os.fdopen(fd, "wb")
+    except BaseException:
+        os.close(fd)
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:
+        with fh:
+            fh.write(blob)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+# ---------------------------------------------------------------------------
+# spool hygiene
+
+
+def gc_point(directory, key: str) -> int:
+    """Delete a completed point's snapshot envelopes (keeps the manifest)."""
+    removed = 0
+    for path in Path(directory).glob(f"{key}.c*.ckpt"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def gc_for(experiment: Optional[str], params: dict) -> None:
+    """Best-effort snapshot GC once the runner records a point's success.
+
+    Covers the case where the point ran on a worker that died *after*
+    writing its result but before its own GC (the runner is the only
+    place that reliably observes completion).
+    """
+    try:
+        cfg = _active if _active is not None else from_env()
+        if cfg is None or cfg.directory is None or experiment is None:
+            return
+        key = cfg.key or point_key(experiment, params)
+        gc_point(cfg.directory, key)
+    except Exception:
+        pass
+
+
+def sweep_orphans(directory) -> int:
+    """Remove temp files a killed writer left behind (cache-clear style)."""
+    removed = 0
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    for path in directory.glob("*.tmp"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

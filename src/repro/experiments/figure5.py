@@ -113,7 +113,8 @@ def figure5_scenario(
     outcome = Figure5Outcome(federation=fed)
 
     # Phase 1: run just past m5 and snapshot the pre-fault state.
-    fed.sim.run(until=75.0)
+    # (fed.run, not fed.sim.run, so sweep checkpointing can slice it.)
+    fed.run(until=75.0)
     for cs in fed.protocol.cluster_states:
         outcome.pre_fault_sns.append(cs.sn)
         outcome.pre_fault_ddvs.append(cs.ddv_tuple())
@@ -134,7 +135,7 @@ def figure5_scenario(
 
     # Phase 2: the fault in (paper) cluster 2 == index 1.
     fed.inject_failure(NodeId(1, nodes_per_cluster - 1))
-    fed.sim.run(until=200.0)
+    fed.run(until=200.0)
 
     for cs in fed.protocol.cluster_states:
         outcome.post_fault_sns.append(cs.sn)

@@ -52,6 +52,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.failure_sweep",
     "repro.experiments.scalability",
     "repro.experiments.ablations",
+    "repro.experiments.checkpoint_overhead",
 )
 
 

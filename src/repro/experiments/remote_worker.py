@@ -48,19 +48,31 @@ import time
 import traceback
 from typing import Optional
 
-from repro.experiments import registry
+from repro.experiments import checkpoint, registry
 from repro.experiments.cache import code_version_hash
 
 __all__ = ["decode_envelope", "main", "make_wire_job", "run_job"]
 
 
-def make_wire_job(experiment: str, params: dict) -> dict:
-    """The self-contained job object a worker consumes, handshake included."""
-    return {
+def make_wire_job(
+    experiment: str, params: dict, checkpoint: Optional[dict] = None
+) -> dict:
+    """The self-contained job object a worker consumes, handshake included.
+
+    ``checkpoint`` (optional -- jobs without it are byte-identical to the
+    old format) is the snapshot ref a requeued point ships: the policy
+    dict (``every``/``wall``/``dir``/``key``) under which the worker runs
+    the point via :func:`repro.experiments.checkpoint.run_point`, resuming
+    from the latest envelope at that key if one exists.
+    """
+    wire = {
         "experiment": experiment,
         "params": params,
         "code_hash": code_version_hash(),
     }
+    if checkpoint is not None:
+        wire["checkpoint"] = checkpoint
+    return wire
 
 
 def decode_envelope(envelope: dict, host: str, verify_code: bool = True):
@@ -109,7 +121,14 @@ def run_job(job: dict) -> dict:
             experiment = registry.get(str(job["experiment"]))
             params = registry.canonical_params(job["params"])
             start = time.perf_counter()
-            value = experiment.point(params)
+            # Checkpoint policy: the wire field if the submitter sent one,
+            # otherwise whatever $REPRO_CHECKPOINT_* says on this host.
+            value = checkpoint.run_point(
+                experiment.point,
+                params,
+                experiment=str(job["experiment"]),
+                wire=job.get("checkpoint"),
+            )
             elapsed = time.perf_counter() - start
     except Exception as exc:  # noqa: BLE001 - reported in the envelope
         return {

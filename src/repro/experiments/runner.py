@@ -26,7 +26,7 @@ from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from repro.experiments import registry
+from repro.experiments import checkpoint, registry
 from repro.experiments.backends import (
     Backend,
     PointTask,
@@ -210,6 +210,10 @@ def _execute_pending(
         if cache is not None:
             cache.put(exp.name, grid[i], outcome.value)
             cache.record(exp.name, grid[i], host=outcome.host, elapsed=outcome.elapsed)
+        # the point is durably recorded: its resume snapshots are garbage
+        # (best-effort; the worker that died after writing its result may
+        # not have gotten to its own GC)
+        checkpoint.gc_for(exp.name, grid[i])
 
     try:
         for i in pending:

@@ -360,6 +360,37 @@ class Simulator:
         self._stopped = True
 
     # ------------------------------------------------------------------
+    # snapshot support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        if self._running:
+            raise SimulationError("cannot snapshot a simulator mid-run()")
+        digest = self._digest
+        if digest is not None and not getattr(digest, "snapshot_safe", False):
+            # Streaming digests (and ad-hoc sinks) cannot round-trip a
+            # pickle; drop them rather than producing an unrestorable blob.
+            digest = None
+        return {
+            "now": self.now,
+            "queue": self._queue,
+            "seq": self._seq,
+            "cancelled": self._cancelled_in_heap,
+            "stopped": self._stopped,
+            "processed": self._processed,
+            "digest": digest,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.now = state["now"]
+        self._queue = state["queue"]
+        self._seq = state["seq"]
+        self._cancelled_in_heap = state["cancelled"]
+        self._running = False
+        self._stopped = state["stopped"]
+        self._processed = state["processed"]
+        self._digest = state["digest"]
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property

@@ -30,6 +30,12 @@ __all__ = ["Interrupt", "Process", "Signal", "Timeout"]
 
 ProcessGen = Generator[Any, Any, Any]
 
+#: set to a list by :func:`repro.sim.snapshot.loads` while a snapshot is
+#: being unpickled; every restored :class:`Process` appends itself so the
+#: loader can rebuild generators once the object graph is complete.
+#: ``None`` outside a restore -- unpickling a Process any other way fails.
+_restore_batch: Optional[list] = None
+
 
 class Interrupt(Exception):
     """Raised inside a process generator when it is interrupted.
@@ -134,9 +140,12 @@ class Process:
         "_waiting_on",
         "_joiners",
         "_interrupt_pending",
+        "_gen_spec",
     )
 
-    def __init__(self, sim: Simulator, gen: ProcessGen, name: str = ""):
+    def __init__(
+        self, sim: Simulator, gen: ProcessGen, name: str = "", gen_spec: Any = None
+    ):
         if not hasattr(gen, "send"):
             raise TypeError(
                 "Process expects a generator (did you forget to call the "
@@ -145,6 +154,7 @@ class Process:
         self.sim = sim
         self.name = name or getattr(gen, "__name__", "process")
         self._gen = gen
+        self._gen_spec = gen_spec
         self._alive = True
         self._result: Any = None
         self._failure: Optional[BaseException] = None
@@ -281,6 +291,41 @@ class Process:
             self.sim.schedule_many(
                 [(0.0, proc._resume, (result,)) for proc in joiners]
             )
+
+    # ------------------------------------------------------------------
+    # snapshot support (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        if self._alive and self._gen_spec is None:
+            raise SimulationError(
+                f"process {self.name!r} was not built from a GenSpec and "
+                "cannot be snapshotted while alive"
+            )
+        # Everything except the live generator, which is rebuilt on restore.
+        return {
+            "sim": self.sim,
+            "name": self.name,
+            "_alive": self._alive,
+            "_result": self._result,
+            "_failure": self._failure,
+            "_pending_event": self._pending_event,
+            "_waiting_on": self._waiting_on,
+            "_joiners": self._joiners,
+            "_interrupt_pending": self._interrupt_pending,
+            "_gen_spec": self._gen_spec,
+        }
+
+    def __setstate__(self, state) -> None:
+        if _restore_batch is None:
+            raise SimulationError(
+                "a Process can only be unpickled through repro.sim.snapshot"
+            )
+        for key, value in state.items():
+            setattr(self, key, value)
+        self._gen = None
+        # Generator rebuild is deferred to snapshot.loads(): priming may
+        # touch other restored objects, so the graph must be complete first.
+        _restore_batch.append(self)
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "alive" if self._alive else "dead"
