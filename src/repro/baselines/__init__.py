@@ -20,18 +20,33 @@ benchmark harness can swap them by name:
 
 Transitive dependency tracking (``hc3i-transitive``) is HC3I with the whole
 DDV piggybacked instead of the SN (§7 future work).
+
+Two post-paper families extend the tournament beyond the paper's baselines:
+
+* ``min-process`` -- Tuli & Kumar-style minimum-process coordinated
+  checkpointing: each round synchronizes only the transitive closure of
+  clusters that communicated since their last checkpoint, instead of the
+  whole federation.
+* ``clc-cic`` -- index-based communication-induced checkpointing with a
+  pluggable forced-checkpoint predicate (``bcs`` or ``bcs-aftersend``)
+  from the Garcia/Vieira/Buzato taxonomy.
 """
 
 from repro.baselines.cic_always import CicAlwaysProtocol, Hc3iTransitiveProtocol
+from repro.baselines.clc_cic import ClcCicProtocol, ghost_line_targets
 from repro.baselines.global_coordinated import GlobalCoordinatedProtocol
 from repro.baselines.independent import IndependentProtocol, domino_targets
+from repro.baselines.min_process_coordinated import MinProcessCoordinatedProtocol
 from repro.baselines.pessimistic_log import PessimisticLogProtocol
 
 __all__ = [
     "CicAlwaysProtocol",
+    "ClcCicProtocol",
     "GlobalCoordinatedProtocol",
     "Hc3iTransitiveProtocol",
     "IndependentProtocol",
+    "MinProcessCoordinatedProtocol",
     "PessimisticLogProtocol",
     "domino_targets",
+    "ghost_line_targets",
 ]

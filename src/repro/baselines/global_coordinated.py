@@ -65,6 +65,10 @@ class GlobalCoordinatedProtocol(BaseProtocol):
         self.timer = PeriodicTimer(self.sim, period, self._timer_fired, name="global-clc")
         self.recovering = False
         self._agents: dict = {}
+        #: [(erased_from, erased_until)] -- every cluster rolls together, so
+        #: one shared list of erased send windows suffices (used to drop
+        #: in-flight messages whose send a rollback just erased)
+        self.ghost_windows: list = []
 
     # ------------------------------------------------------------------
     def make_agent(self, node: "Node") -> "GlobalAgent":
@@ -130,6 +134,19 @@ class GlobalCoordinatedProtocol(BaseProtocol):
         self.phase = self.IDLE
         self._acks_pending = set()
 
+    def send_erased(self, msg: Message) -> bool:
+        """Was this in-flight message's send erased by a global rollback?
+
+        A rollback to checkpoint time ``T`` at instant ``R`` erases sends
+        in ``[T, R]`` (closed on the left: the restored state is fixed at
+        the commit).  The fabric's send timestamp stands in for the
+        channel incarnation number a real system would use.
+        """
+        return any(
+            erased_from <= msg.send_time <= erased_until
+            for erased_from, erased_until in self.ghost_windows
+        )
+
     # ------------------------------------------------------------------
     # failure: everybody rolls back
     # ------------------------------------------------------------------
@@ -147,6 +164,7 @@ class GlobalCoordinatedProtocol(BaseProtocol):
             "global_rollback", number=target.number, failed=str(node.id)
         )
         self.recovering = True
+        self.ghost_windows.append((target.time, self.sim.now))
         for agent in self._agents.values():
             agent.reset_volatile()
         for cluster in fed.clusters:
@@ -207,6 +225,15 @@ class GlobalAgent(NodeAgent):
     def on_receive(self, msg: Message) -> None:
         kind = msg.kind
         if kind.is_app:
+            if msg.inter_cluster and self.protocol.send_erased(msg):
+                # Ghost: the send was erased while the message crossed the
+                # WAN -- everybody already rolled behind its send point.
+                self.protocol.stats.counter("global/ghosts_dropped").inc()
+                self.protocol.tracer.protocol(
+                    "ghost_dropped", cluster=self.node.id.cluster,
+                    msg_id=msg.msg_id, src=msg.src.cluster,
+                )
+                return
             # Deliveries during the freeze window amend the saved state
             # (same convention as HC3I's intra-cluster handling).
             self.node.deliver_app(msg)

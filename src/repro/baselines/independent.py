@@ -128,6 +128,10 @@ class IndependentProtocol(BaseProtocol):
         self.states = [_IndependentClusterState(i) for i in range(n)]
         #: message dependency records (src, send_epoch, dst, recv_epoch)
         self.edges: list = []
+        #: per cluster: [(erased_from, erased_until)] time windows of its
+        #: rollbacks, used to drop in-flight messages whose send a rollback
+        #: erased while they were on the wire (channel incarnation check)
+        self.ghost_windows: list = [[] for _ in range(n)]
         self.timers_: list = []
         for i in range(n):
             period = federation.timers.clc_period_for(i)
@@ -217,6 +221,7 @@ class IndependentProtocol(BaseProtocol):
             self.stats.counter("rollback/total").inc()
             self.stats.tally("independent/rollback_depth").record(depth)
             record = next(c for c in st.checkpoints if c.number == target_sn)
+            self.ghost_windows[cluster].append((record.time, self.sim.now))
             st.checkpoints = [c for c in st.checkpoints if c.number <= target_sn]
             st.sn = target_sn
             st.phase_collecting = False
@@ -262,6 +267,21 @@ class IndependentProtocol(BaseProtocol):
     # ------------------------------------------------------------------
     def record_edge(self, src: int, send_epoch: int, dst: int, recv_epoch: int) -> None:
         self.edges.append((src, send_epoch, dst, recv_epoch))
+
+    def send_erased(self, msg: Message) -> bool:
+        """Was this in-flight message's send erased by a sender rollback?
+
+        The fabric stamps every message with its send time; a rollback of
+        the sender to checkpoint time ``T`` at instant ``R`` erases sends
+        in ``[T, R]`` (closed on the left: the restored state is fixed at
+        the checkpoint commit).  Real systems detect such stale messages
+        with channel incarnation numbers; the simulator can use the send
+        timestamp directly.
+        """
+        return any(
+            erased_from <= msg.send_time <= erased_until
+            for erased_from, erased_until in self.ghost_windows[msg.src.cluster]
+        )
 
     def cluster_summary(self, cluster: int) -> dict:
         st = self.states[cluster]
@@ -319,6 +339,16 @@ class IndependentAgent(NodeAgent):
         cluster = self.node.id.cluster
         if kind.is_app:
             if msg.inter_cluster:
+                if self.protocol.send_erased(msg):
+                    # Ghost: the send was erased while the message was on
+                    # the wire.  Delivering it would poison the edge set
+                    # AND the application state with unsent data.
+                    self.protocol.stats.counter("independent/ghosts_dropped").inc()
+                    self.protocol.tracer.protocol(
+                        "ghost_dropped", cluster=cluster, msg_id=msg.msg_id,
+                        src=msg.src.cluster,
+                    )
+                    return
                 self.protocol.record_edge(
                     msg.src.cluster, msg.piggyback, cluster, self.state.sn
                 )

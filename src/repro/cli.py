@@ -20,6 +20,11 @@ Paper sweeps run through the parallel experiment engine::
     repro sweep fig9 --backend slurm --sbatch-opt=--partition=short
     repro sweep fig9 --backend k8s --namespace sweeps
 
+Component ablations rank what each HC3I piece buys::
+
+    repro ablate hc3i --scale tiny
+    repro ablate hc3i --metric checkpoints --json
+
 Federation cache sync moves finished results between sites::
 
     repro cache export siteA.tar.gz
@@ -46,7 +51,13 @@ from repro.config.loader import ScenarioConfig, load_scenario
 from repro.core.protocol import protocol_names
 from repro.sim.trace import TraceLevel
 
-__all__ = ["main", "build_parser", "build_sweep_parser", "build_cache_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_ablate_parser",
+    "build_sweep_parser",
+    "build_cache_parser",
+]
 
 #: grid overrides per --scale profile ("full" = the grids' paper defaults)
 SCALE_PROFILES = {
@@ -495,6 +506,119 @@ def _sweep_main(argv: Sequence[str]) -> int:
     return 0
 
 
+#: ablation targets: positional name -> the experiment that ablates it
+ABLATE_TARGETS = {"hc3i": "ablation-components"}
+
+
+def build_ablate_parser() -> argparse.ArgumentParser:
+    from repro.experiments.ablations import ABLATION_METRICS
+
+    parser = argparse.ArgumentParser(
+        prog="repro ablate",
+        description=(
+            "Leave-one-out component ablation with a ranked importance "
+            "report (runs through the sweep engine and cache)."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(ABLATE_TARGETS),
+        help="protocol whose components to ablate",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=ABLATION_METRICS,
+        default="lost_work",
+        help="metric the importance ranking uses (default: lost_work)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for cache-missing configurations (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every configuration, bypassing the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/hc3i-repro)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALE_PROFILES),
+        default="small",
+        help="grid scale: 'full' = the paper's 100 nodes / 10 h",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the grid seed")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the ranked report as JSON instead of markdown",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write report.json + report.md into DIR",
+    )
+    return parser
+
+
+def _ablate_main(argv: Sequence[str]) -> int:
+    from repro.experiments import registry
+    from repro.experiments.ablations import (
+        component_importance,
+        render_importance_markdown,
+    )
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.runner import run_experiment
+
+    args = build_ablate_parser().parse_args(argv)
+    experiment = registry.get(ABLATE_TARGETS[args.target])
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    overrides = _sweep_overrides(experiment, args.scale, args.seed)
+    report = run_experiment(
+        experiment, overrides=overrides, jobs=args.jobs, cache=cache
+    )
+    result = report.result
+    ranking = component_importance(result, metric=args.metric)
+    markdown = render_importance_markdown(ranking)
+    payload = {
+        "target": args.target,
+        "experiment": report.name,
+        "scale": args.scale,
+        "points": report.points,
+        "cache_hits": report.cache_hits,
+        "executed": report.executed,
+        "metric": args.metric,
+        "ranking": ranking,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+    }
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "report.json").write_text(
+            json.dumps(payload, indent=2, default=str) + "\n"
+        )
+        (out / "report.md").write_text(markdown + "\n")
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        print()
+    else:
+        print(result.render())
+        print()
+        print(markdown)
+        print(f"[ablate] {report.summary()}")
+    return 0
+
+
 def build_cache_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro cache",
@@ -590,6 +714,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "ablate":
+        return _ablate_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
     args = build_parser().parse_args(argv)

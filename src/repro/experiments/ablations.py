@@ -38,10 +38,15 @@ from repro.experiments.registry import Experiment, register
 from repro.network.message import NodeId
 
 __all__ = [
+    "ABLATION_METRICS",
+    "COMPONENTS",
     "baseline_comparison",
+    "component_importance",
     "gc_period_sweep",
+    "hc3i_component_ablation",
     "incremental_checkpoint_ablation",
     "message_logging_ablation",
+    "render_importance_markdown",
     "replication_degree_sweep",
     "transitive_ddv_ablation",
 ]
@@ -770,3 +775,275 @@ def replication_degree_sweep(
         total_time=total_time,
         seed=seed,
     )
+
+
+# --------------------------------------------------------------------------
+# HC3I component ablation (leave-one-out) + ranked importance report
+
+
+#: leave-one-out components: config key -> (label, how removal is modelled)
+COMPONENTS = {
+    "ddv-piggyback": (
+        "no DDV piggyback",
+        "hc3i with mode='always': a CLC is forced on every inter-cluster "
+        "message instead of the SN/DDV usefulness test",
+    ),
+    "message-logging": (
+        "no message logging",
+        "hc3i with replay_enabled=False: the sender cluster must roll back "
+        "so its in-transit messages are regenerated",
+    ),
+    "garbage-collection": (
+        "no garbage collection",
+        "gc_period=None: every committed CLC stays in stable storage",
+    ),
+    "hierarchy": (
+        "no hierarchy",
+        "global-coordinated: one federation-wide 2PC instead of "
+        "intra-cluster CLC + inter-cluster CIC",
+    ),
+}
+
+#: metrics every ablation config reports (rankable via --metric)
+ABLATION_METRICS = (
+    "lost_work",
+    "checkpoints",
+    "forced",
+    "mean_clusters",
+    "log_bytes",
+    "stored",
+)
+
+
+def _components_grid(
+    nodes: int = 20,
+    total_time: float = 4 * HOUR,
+    seed: int = 42,
+    failure_times: Optional[Sequence[float]] = None,
+) -> list:
+    failure_times = list(
+        failure_times or [total_time * 0.45, total_time * 0.8]
+    )
+    configs = [("baseline", "full hc3i", "hc3i", None, True)]
+    for key, (label, _how) in COMPONENTS.items():
+        protocol, options, gc = "hc3i", None, True
+        if key == "ddv-piggyback":
+            options = {"mode": "always"}
+        elif key == "message-logging":
+            options = {"replay_enabled": False}
+        elif key == "garbage-collection":
+            gc = False
+        elif key == "hierarchy":
+            protocol = "global-coordinated"
+        configs.append((key, label, protocol, options, gc))
+    return [
+        {
+            "config": key,
+            "label": label,
+            "protocol": protocol,
+            "protocol_options": options,
+            "gc": gc,
+            "nodes": nodes,
+            "total_time": total_time,
+            "seed": seed,
+            "failure_times": failure_times,
+        }
+        for key, label, protocol, options, gc in configs
+    ]
+
+
+def _components_point(params: dict) -> dict:
+    # The pipeline workload keeps inter-cluster traffic flowing at every
+    # scale, so each component has observable work to do (table1 at tiny
+    # scale exchanges almost no inter-cluster messages and would leave the
+    # DDV/logging ablations without signal).
+    topology, application, timers = pipeline_workload(
+        nodes_per_stage=params["nodes"],
+        n_stages=3,
+        total_time=params["total_time"],
+        skip_probability=0.02,
+        gc_period=HOUR if params["gc"] else None,
+    )
+    fed, results = _run_with_failures(
+        topology,
+        application,
+        timers,
+        protocol=params["protocol"],
+        seed=params["seed"],
+        failure_times=params["failure_times"],
+        victims=[NodeId(0, 1), NodeId(1, 1)],
+        protocol_options=params["protocol_options"],
+    )
+    costs = rollback_costs(fed)
+    n = topology.n_clusters
+    checkpoints = sum(results.clc_counts(c)["total"] for c in range(n))
+    forced = sum(results.clc_counts(c)["forced"] for c in range(n))
+    stored = sum(results.stored_clcs(c) for c in range(n))
+    log_bytes = 0
+    for c in range(n):
+        log_bytes += results.clusters[c].get("log_bytes", 0) or 0
+    return {
+        "checkpoints": checkpoints,
+        "forced": forced,
+        "stored": stored,
+        "mean_clusters": costs.mean_clusters_per_failure,
+        "lost_work": costs.lost_work_node_seconds,
+        "log_bytes": log_bytes,
+    }
+
+
+def _components_reduce(grid: list, points: list) -> ExperimentResult:
+    rows = [
+        (
+            params["label"],
+            point["checkpoints"],
+            point["forced"],
+            point["stored"],
+            round(point["mean_clusters"], 2),
+            round(point["lost_work"], 1),
+            point["log_bytes"],
+        )
+        for params, point in zip(grid, points)
+    ]
+    labels = [params["label"] for params in grid]
+    series = {
+        metric: [point[metric] for point in points]
+        for metric in ABLATION_METRICS
+    }
+    result = ExperimentResult(
+        name="Ablation -- HC3I component importance (leave-one-out)",
+        description=(
+            "Full HC3I vs HC3I minus one component on the 3-stage pipeline "
+            "workload, same failure schedule; the lost-work delta ranks how "
+            "much each component buys."
+        ),
+        headers=[
+            "configuration",
+            "checkpoints",
+            "forced",
+            "stored",
+            "clusters/failure",
+            "lost node-seconds",
+            "log bytes",
+        ],
+        rows=rows,
+        x_label="configuration",
+        xs=labels,
+        series=series,
+        paper={
+            "ddv-piggyback": "§3.2 usefulness test",
+            "message-logging": "§3.3 optimistic sender log",
+            "garbage-collection": "§5.4 storage tradeoff",
+            "hierarchy": "§2.2 two-level design",
+        },
+    )
+    ranking = component_importance(result)
+    result.notes.append(
+        "importance (lost-work delta when removed): "
+        + ", ".join(
+            f"{entry['component']} {entry['delta']:+.1f}"
+            for entry in ranking["components"]
+        )
+    )
+    return result
+
+
+COMPONENT_ABLATION = register(
+    Experiment(
+        name="ablation-components",
+        title="Ablation -- HC3I component importance (leave-one-out)",
+        artifact="§3.2/§3.3/§5.4 synthesis",
+        grid=_components_grid,
+        point=_components_point,
+        reduce=_components_reduce,
+        scaled=True,
+    )
+)
+
+
+def hc3i_component_ablation(
+    nodes: int = 20,
+    total_time: float = 4 * HOUR,
+    seed: int = 42,
+    failure_times: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    """Leave-one-out over HC3I's components, with a ranked importance note."""
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        COMPONENT_ABLATION,
+        nodes=nodes,
+        total_time=total_time,
+        seed=seed,
+        failure_times=list(failure_times) if failure_times is not None else None,
+    )
+
+
+def component_importance(result: ExperimentResult, metric: str = "lost_work") -> dict:
+    """Ranked leave-one-out importance from an ``ablation-components`` result.
+
+    Importance of a component = metric(without it) - metric(baseline):
+    removing something load-bearing makes the metric worse (positive
+    delta for cost metrics), so the largest delta ranks first.  A
+    negative delta flags a component that *hurt* on this workload.
+    """
+    if metric not in result.series:
+        raise KeyError(
+            f"unknown ablation metric {metric!r}; "
+            f"choose from {sorted(result.series)}"
+        )
+    values = result.series[metric]
+    baseline_label, baseline = result.xs[0], values[0]
+    entries = []
+    for label, value in zip(result.xs[1:], values[1:]):
+        component = label[3:] if label.startswith("no ") else label
+        delta = value - baseline
+        entries.append(
+            {
+                "component": component,
+                "config": label,
+                "value": value,
+                "delta": delta,
+                "harmful": delta < 0,
+            }
+        )
+    entries.sort(key=lambda e: (-e["delta"], e["component"]))
+    for rank, entry in enumerate(entries, 1):
+        entry["rank"] = rank
+    return {
+        "metric": metric,
+        "baseline_config": baseline_label,
+        "baseline_value": baseline,
+        "components": entries,
+    }
+
+
+def render_importance_markdown(ranking: dict) -> str:
+    """Markdown component-importance report for one :func:`component_importance`."""
+    metric = ranking["metric"]
+    lines = [
+        f"# HC3I component importance (metric: `{metric}`)",
+        "",
+        f"Baseline `{ranking['baseline_config']}`: "
+        f"{ranking['baseline_value']:g} {metric}",
+        "",
+        "| rank | component | without it | delta | verdict |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for entry in ranking["components"]:
+        if entry["delta"] > 0:
+            verdict = "load-bearing (removal costs)"
+        elif entry["delta"] < 0:
+            verdict = "harmful on this workload"
+        else:
+            verdict = "neutral here"
+        lines.append(
+            f"| {entry['rank']} | {entry['component']} | {entry['value']:g} "
+            f"| {entry['delta']:+g} | {verdict} |"
+        )
+    lines += [
+        "",
+        "Importance = metric(without component) - metric(baseline); the",
+        "largest increase ranks first.",
+    ]
+    return "\n".join(lines)

@@ -53,6 +53,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.scalability",
     "repro.experiments.ablations",
     "repro.experiments.checkpoint_overhead",
+    "repro.experiments.tournament",
 )
 
 

@@ -1,0 +1,174 @@
+"""Protocol tournament: every registered family on one workload.
+
+Extends the paper's baseline comparison (§2.2/§6) to the full protocol
+registry -- HC3I, the three paper baselines, the always-force strawman,
+and the two post-paper families (minimum-process coordinated, index-based
+CIC under both forced-checkpoint predicates) -- on the same pipeline
+workload with an identical failure schedule, so a single table answers
+"which protocol loses the least work, at what checkpoint/log cost?".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.rollback_cost import rollback_costs
+from repro.app.workloads import pipeline_workload
+from repro.config.timers import HOUR
+from repro.experiments.ablations import _run_with_failures
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import Experiment, register
+from repro.network.message import NodeId
+
+__all__ = ["ENTRANTS", "protocol_tournament"]
+
+#: (label, protocol, protocol_options) -- every family in the registry,
+#: with clc-cic entered once per forced-checkpoint predicate
+ENTRANTS = (
+    ("hc3i", "hc3i", None),
+    ("global-coordinated", "global-coordinated", None),
+    ("independent", "independent", None),
+    ("pessimistic-log", "pessimistic-log", None),
+    ("cic-always", "cic-always", None),
+    ("min-process", "min-process", None),
+    ("clc-cic/bcs", "clc-cic", {"predicate": "bcs"}),
+    ("clc-cic/bcs-aftersend", "clc-cic", {"predicate": "bcs-aftersend"}),
+)
+
+
+def _tournament_grid(
+    nodes: int = 20,
+    total_time: float = 4 * HOUR,
+    seed: int = 42,
+    failure_times: Optional[Sequence[float]] = None,
+) -> list:
+    failure_times = list(
+        failure_times or [total_time * 0.45, total_time * 0.8]
+    )
+    return [
+        {
+            "label": label,
+            "protocol": protocol,
+            "protocol_options": options,
+            "nodes": nodes,
+            "total_time": total_time,
+            "seed": seed,
+            "failure_times": failure_times,
+        }
+        for label, protocol, options in ENTRANTS
+    ]
+
+
+def _tournament_point(params: dict) -> dict:
+    # Pipeline workload: steady inter-cluster flow at every scale, so the
+    # families' dependency handling actually differentiates them (table1 at
+    # tiny scale exchanges almost no inter-cluster messages).
+    topology, application, timers = pipeline_workload(
+        nodes_per_stage=params["nodes"],
+        n_stages=3,
+        total_time=params["total_time"],
+        skip_probability=0.02,
+    )
+    fed, results = _run_with_failures(
+        topology,
+        application,
+        timers,
+        protocol=params["protocol"],
+        seed=params["seed"],
+        failure_times=params["failure_times"],
+        victims=[NodeId(0, 1), NodeId(1, 1)],
+        protocol_options=params["protocol_options"],
+    )
+    costs = rollback_costs(fed)
+    checkpoints = sum(
+        results.clc_counts(c)["total"] for c in range(topology.n_clusters)
+    )
+    log_bytes = results.counter("pessimistic/log_bytes")
+    for c in range(topology.n_clusters):
+        log_bytes += results.clusters[c].get("log_bytes", 0) or 0
+    return {
+        "checkpoints": checkpoints,
+        "failures": costs.failures,
+        "mean_clusters": costs.mean_clusters_per_failure,
+        "replays": costs.replays,
+        "lost_work": costs.lost_work_node_seconds,
+        "log_bytes": log_bytes,
+    }
+
+
+def _tournament_reduce(grid: list, points: list) -> ExperimentResult:
+    rows = [
+        (
+            params["label"],
+            point["checkpoints"],
+            round(point["mean_clusters"], 2),
+            round(point["lost_work"], 1),
+            point["replays"],
+            point["log_bytes"],
+        )
+        for params, point in zip(grid, points)
+    ]
+    labels = [params["label"] for params in grid]
+    series = {
+        metric: [point[metric] for point in points]
+        for metric in ("checkpoints", "mean_clusters", "lost_work", "log_bytes")
+    }
+    ranked = sorted(zip(labels, series["lost_work"]), key=lambda lw: lw[1])
+    return ExperimentResult(
+        name="Protocol tournament -- every family, one workload",
+        description=(
+            "3-stage pipeline workload, identical failure schedule; rollback "
+            "scope, lost work and logging cost per checkpointing family."
+        ),
+        headers=[
+            "protocol",
+            "checkpoints",
+            "clusters rolled/failure",
+            "lost node-seconds",
+            "replays",
+            "log bytes",
+        ],
+        rows=rows,
+        x_label="protocol",
+        xs=labels,
+        series=series,
+        paper={
+            "scope": "post-paper extension: the §2.2/§6 comparison over the "
+            "full protocol registry"
+        },
+        notes=[
+            "ranking by lost work: "
+            + " < ".join(f"{label} ({value:.0f})" for label, value in ranked)
+        ],
+    )
+
+
+TOURNAMENT = register(
+    Experiment(
+        name="protocol-tournament",
+        title="Protocol tournament -- all registered families, one workload",
+        artifact="§2.2/§6 extension",
+        grid=_tournament_grid,
+        point=_tournament_point,
+        reduce=_tournament_reduce,
+        scaled=True,
+    )
+)
+
+
+def protocol_tournament(
+    nodes: int = 20,
+    total_time: float = 4 * HOUR,
+    seed: int = 42,
+    failure_times: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    """Every protocol family on the Table 1 workload, identical failures."""
+    from repro.experiments.runner import run_grid_inline
+
+    return run_grid_inline(
+        TOURNAMENT,
+        nodes=nodes,
+        total_time=total_time,
+        seed=seed,
+        failure_times=list(failure_times) if failure_times is not None else None,
+    )

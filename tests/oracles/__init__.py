@@ -1,0 +1,1 @@
+"""Reusable test oracles: protocol-agnostic correctness checkers."""

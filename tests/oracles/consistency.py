@@ -1,0 +1,361 @@
+"""Trace-replay consistency oracle for any checkpointing protocol.
+
+The paper's §2.2 definition of a consistent state -- "neither in-transit
+messages (sent but not received) nor ghost-messages (received but not
+sent)" -- is checked here from the *outside*: the oracle records every
+inter-cluster application send, every application delivery and every
+rollback the protocol performs, then replays the recovery lines against
+the message trace.  Nothing protocol-specific is consulted for the
+verdict, so the same oracle locks down HC3I, every baseline and any
+future family on the :mod:`repro.core.protocol` contract.
+
+Timeline model
+--------------
+
+A rollback of cluster ``c`` to ``target_time`` at simulation time ``now``
+*erases* every event that happened on ``c`` in the closed interval
+``[target_time, now]``: sends from an erased interval never happened in
+the surviving timeline, deliveries in it are forgotten with the discarded
+state.  (Protocols report exactly these two numbers through
+``Federation.on_cluster_rollback``, which the oracle wraps.)
+
+The interval is closed on the *left* because a checkpoint's content is
+fixed the moment its commit is recorded: events stamped at exactly the
+commit instant -- deliveries of messages queued for a forced CLC, sends
+flushed out of a freeze window -- are causally *after* the commit and are
+not part of the restored state.  This matches HC3I's own ghost test,
+which treats a send stamped with ``sn >= restored_sn`` as erased.
+
+Checked invariants, on the surviving timeline only:
+
+* **no orphan (ghost)** -- a delivery survives but every send of that
+  message was erased: the receiver remembers a message nobody sent;
+* **no duplicate** -- one message id delivered more than once (replays
+  must be deduplicated against deliveries the restored state still
+  contains);
+* **no lost message (in-transit)** -- a send survives but no delivery
+  does, and the message is not still in flight, not queued/deferred/held
+  anywhere at the receiver, and not re-producible from a sender-side
+  message log.  Logged messages count as re-producible -- HC3I's own
+  relaxation of the in-transit rule (§4: sender-side logging).
+
+Usage::
+
+    fed = make_federation(...)
+    oracle = attach_oracle(fed)   # BEFORE fed.start()
+    ... run, inject failures ...
+    assert_consistent(fed, oracle)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.network.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.federation import Federation
+
+__all__ = [
+    "ConsistencyOracle",
+    "DeliveryEvent",
+    "OracleReport",
+    "SendEvent",
+    "assert_consistent",
+    "attach_oracle",
+]
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """One inter-cluster application send observed at the fabric."""
+
+    msg_id: int
+    time: float
+    src_cluster: int
+    dst_cluster: int
+    arrival: float
+    kind: str
+
+
+@dataclass(frozen=True)
+class DeliveryEvent:
+    """One inter-cluster application delivery observed at a node."""
+
+    msg_id: int
+    time: float
+    cluster: int
+    node: str
+    kind: str
+
+
+@dataclass
+class OracleReport:
+    """Verdict of a consistency check."""
+
+    violations: list = field(default_factory=list)
+    messages: int = 0
+    delivered: int = 0
+    in_flight: int = 0
+    queued: int = 0
+    replayable: int = 0
+    erasures: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, kind: str, detail: str) -> None:
+        self.violations.append((kind, detail))
+
+    def __str__(self) -> str:
+        if self.ok:
+            return (
+                f"consistent: {self.messages} messages "
+                f"({self.delivered} delivered, {self.in_flight} in flight, "
+                f"{self.queued} queued, {self.replayable} replayable) "
+                f"across {self.erasures} rollback erasures"
+            )
+        lines = [f"INCONSISTENT ({len(self.violations)} violations):"]
+        lines += [f"  [{kind}] {detail}" for kind, detail in self.violations]
+        return "\n".join(lines)
+
+
+class ConsistencyOracle:
+    """Records sends/deliveries/rollbacks of a federation and checks them.
+
+    Install with :func:`attach_oracle` *before* ``fed.start()`` so the
+    initial protocol activity is captured too.  The oracle wraps
+    ``fed.fabric.send``, every node's ``deliver_app`` and
+    ``fed.on_cluster_rollback`` with recording shims; the wrapped
+    behaviour is unchanged, so an instrumented run is trace-identical to
+    a bare one.
+    """
+
+    def __init__(self, federation: "Federation"):
+        self.federation = federation
+        #: msg_id -> [SendEvent] (replays re-send under the same id)
+        self.sends: dict = {}
+        #: msg_id -> [DeliveryEvent]
+        self.deliveries: dict = {}
+        #: cluster -> [(erased_after, erased_until)]
+        self.erasure_windows: dict = {}
+        self._install()
+
+    # -- recording shims -------------------------------------------------
+    def _install(self) -> None:
+        fed = self.federation
+        fabric = fed.fabric
+        fabric_send = fabric.send
+
+        def send_shim(msg: Message) -> float:
+            arrival = fabric_send(msg)
+            if msg.kind.is_app and msg.inter_cluster:
+                self.sends.setdefault(msg.msg_id, []).append(
+                    SendEvent(
+                        msg_id=msg.msg_id,
+                        time=fed.sim.now,
+                        src_cluster=msg.src.cluster,
+                        dst_cluster=msg.dst.cluster,
+                        arrival=arrival,
+                        kind=msg.kind.value,
+                    )
+                )
+            return arrival
+
+        fabric.send = send_shim
+
+        for cluster in fed.clusters:
+            for node in cluster.nodes:
+                self._wrap_node(node)
+
+        rollback = fed.on_cluster_rollback
+
+        def rollback_shim(cluster, target_time, failed_node=None):
+            self.erasure_windows.setdefault(cluster, []).append(
+                (target_time, fed.sim.now)
+            )
+            return rollback(cluster, target_time, failed_node)
+
+        fed.on_cluster_rollback = rollback_shim
+
+    def _wrap_node(self, node) -> None:
+        deliver = node.deliver_app
+
+        def deliver_shim(msg: Message) -> None:
+            if msg.kind.is_app and msg.inter_cluster:
+                self.deliveries.setdefault(msg.msg_id, []).append(
+                    DeliveryEvent(
+                        msg_id=msg.msg_id,
+                        time=self.federation.sim.now,
+                        cluster=node.id.cluster,
+                        node=str(node.id),
+                        kind=msg.kind.value,
+                    )
+                )
+            return deliver(msg)
+
+        node.deliver_app = deliver_shim
+
+    # -- timeline --------------------------------------------------------
+    def erased(self, cluster: int, t: float) -> bool:
+        """Did a later rollback of ``cluster`` erase an event at ``t``?"""
+        return any(
+            target <= t <= until
+            for target, until in self.erasure_windows.get(cluster, ())
+        )
+
+    def surviving_sends(self, msg_id: int) -> list:
+        return [
+            s
+            for s in self.sends.get(msg_id, ())
+            if not self.erased(s.src_cluster, s.time)
+        ]
+
+    def surviving_deliveries(self, msg_id: int) -> list:
+        return [
+            d
+            for d in self.deliveries.get(msg_id, ())
+            if not self.erased(d.cluster, d.time)
+        ]
+
+    # -- the check -------------------------------------------------------
+    def check(self, allow_in_flight: bool = True) -> OracleReport:
+        """Replay the recovery lines against the recorded trace.
+
+        :param allow_in_flight: excuse surviving sends whose (latest)
+            scheduled arrival lies beyond the current simulation time --
+            the run ended with the message on the wire.  Pass ``False``
+            only after the network has fully drained.
+        """
+        fed = self.federation
+        now = fed.sim.now
+        report = OracleReport(
+            erasures=sum(len(w) for w in self.erasure_windows.values())
+        )
+        queued_ids = _queued_ids(fed)
+        logged_ids = _logged_ids(fed)
+
+        for msg_id, send_events in sorted(self.sends.items()):
+            report.messages += 1
+            live_sends = self.surviving_sends(msg_id)
+            live_deliveries = self.surviving_deliveries(msg_id)
+
+            if live_deliveries and not live_sends:
+                d = live_deliveries[0]
+                report.add(
+                    "orphan",
+                    f"msg {msg_id} delivered at t={d.time:.3f} on {d.node} "
+                    f"but every send was erased by a rollback",
+                )
+            if len(live_deliveries) > 1:
+                where = ", ".join(
+                    f"{d.node}@t={d.time:.3f}" for d in live_deliveries
+                )
+                report.add(
+                    "duplicate",
+                    f"msg {msg_id} delivered {len(live_deliveries)} times "
+                    f"in the surviving timeline ({where})",
+                )
+            if live_sends and not live_deliveries:
+                if any(s.arrival > now for s in live_sends):
+                    if allow_in_flight:
+                        report.in_flight += 1
+                        continue
+                if msg_id in queued_ids:
+                    report.queued += 1
+                elif msg_id in logged_ids:
+                    report.replayable += 1
+                else:
+                    s = live_sends[-1]
+                    report.add(
+                        "lost",
+                        f"msg {msg_id} (c{s.src_cluster} -> c{s.dst_cluster}, "
+                        f"sent t={s.time:.3f}) has no surviving delivery and "
+                        f"is neither in flight, queued, nor logged",
+                    )
+            if live_deliveries:
+                report.delivered += 1
+
+        for msg_id in sorted(set(self.deliveries) - set(self.sends)):
+            report.add(
+                "unsourced",
+                f"msg {msg_id} was delivered but never seen at the fabric",
+            )
+        return report
+
+
+def attach_oracle(federation: "Federation") -> ConsistencyOracle:
+    """Instrument ``federation`` (call before ``federation.start()``)."""
+    return ConsistencyOracle(federation)
+
+
+def assert_consistent(
+    federation: "Federation",
+    oracle: ConsistencyOracle,
+    allow_in_flight: bool = True,
+) -> OracleReport:
+    """Check and raise ``AssertionError`` with the full report on failure."""
+    report = oracle.check(allow_in_flight=allow_in_flight)
+    if not report.ok:
+        raise AssertionError(
+            f"{federation.protocol.name}: {report}"
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# where an undelivered message may legitimately wait
+# ----------------------------------------------------------------------
+
+#: agent attributes that hold not-yet-delivered input
+_AGENT_QUEUES = ("deferred_in", "pending", "pending_force")
+
+
+def _iter_messages(container: Iterable) -> Iterator[Message]:
+    """Messages inside a queue of Messages / tuples / entry objects."""
+    if isinstance(container, (bool, int, float, str)) or container is None:
+        return
+    try:
+        items = list(container)
+    except TypeError:
+        return
+    for item in items:
+        if isinstance(item, Message):
+            yield item
+        elif isinstance(item, (tuple, list)):
+            for sub in item:
+                if isinstance(sub, Message):
+                    yield sub
+        elif isinstance(getattr(item, "msg", None), Message):
+            yield item.msg
+
+
+def _queued_ids(fed: "Federation") -> set:
+    """Ids waiting in node hold buffers or agent input queues."""
+    ids: set = set()
+    for cluster in fed.clusters:
+        for node in cluster.nodes:
+            for msg in _iter_messages(node._held):
+                ids.add(msg.msg_id)
+            for attr in _AGENT_QUEUES:
+                for msg in _iter_messages(getattr(node.agent, attr, ())):
+                    ids.add(msg.msg_id)
+    return ids
+
+
+def _logged_ids(fed: "Federation") -> set:
+    """Ids still re-producible from a sender-side message log."""
+    ids: set = set()
+    for states_attr in ("cluster_states", "states"):
+        states = getattr(fed.protocol, states_attr, None)
+        if not states:
+            continue
+        for cs in states:
+            log = getattr(cs, "sent_log", None)
+            if log is None:
+                continue
+            for msg in _iter_messages(log):
+                ids.add(msg.msg_id)
+    return ids

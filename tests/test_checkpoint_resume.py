@@ -191,7 +191,9 @@ class TestSnapshotRoundtrip:
 # kill-and-resume equivalence
 
 
-KILL_FAST = ["table1", "figure5"]  # figure5 holds the federation across calls
+# figure5 holds the federation across calls; protocol-tournament covers the
+# new protocol families' requeue/restore paths in the fast lane
+KILL_FAST = ["table1", "figure5", "protocol-tournament"]
 
 # checkpoint_overhead's point slices and snapshots by hand (it measures the
 # mechanism) and never routes through Federation.run, so the drive hook --

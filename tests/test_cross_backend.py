@@ -33,7 +33,7 @@ from repro.experiments.runner import run_experiment
 ALL_EXPERIMENTS = registry.names()
 
 #: unmarked smoke subset: every backend crossed in the fast lane
-SMOKE_EXPERIMENTS = ("table1", "fig6-fig7")
+SMOKE_EXPERIMENTS = ("table1", "fig6-fig7", "protocol-tournament", "ablation-components")
 
 #: tiny grids plus a fixed seed where the grid takes one, for cheap determinism
 assert "tiny" in SCALE_PROFILES
@@ -129,7 +129,7 @@ class TestEquivalenceFastLane:
 
 @pytest.mark.slow
 class TestEquivalenceFullMatrix:
-    """The full 18-experiment x heavyweight-backend matrix (slow lane)."""
+    """The full registry x heavyweight-backend matrix (slow lane)."""
 
     @pytest.mark.parametrize("name", ALL_EXPERIMENTS)
     def test_local_pool_matches_serial(self, name, serial_baseline, tmp_path, stub_ssh):
