@@ -57,6 +57,7 @@ __all__ = [
     "build_ablate_parser",
     "build_sweep_parser",
     "build_cache_parser",
+    "build_serve_parser",
 ]
 
 #: grid overrides per --scale profile ("full" = the grids' paper defaults)
@@ -700,6 +701,95 @@ def _cache_main(argv: Sequence[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve sweep results over HTTP: registry enumeration, memoized "
+            "grid-point fetches (hot tier over the result cache), streamed "
+            "sweep launches, and /stats observability.  See docs/serve.md."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=8642, help="bind port, 0 = ephemeral (default: %(default)s)")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache to serve (default: $REPRO_CACHE_DIR or ~/.cache/hc3i-repro)",
+    )
+    parser.add_argument(
+        "--hot-mb",
+        type=float,
+        default=64.0,
+        help="in-memory hot-tier budget in MiB, 0 disables it (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        help="concurrent point computes before queueing (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=16,
+        help="queued computes beyond --max-inflight before 429s (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-sweeps",
+        type=int,
+        default=2,
+        help="concurrent streamed sweeps before 429s (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-request compute deadline in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--journal-shards",
+        type=int,
+        default=4,
+        help="provenance-journal shard count for concurrent writers (default: %(default)s)",
+    )
+    return parser
+
+
+def _serve_main(argv: Sequence[str]) -> int:
+    import asyncio
+
+    from repro.experiments.cache import ResultCache
+    from repro.serve import HttpServer, ServeApp
+
+    args = build_serve_parser().parse_args(argv)
+    cache = ResultCache(root=args.cache_dir, journal_shards=args.journal_shards)
+    app = ServeApp(
+        cache=cache,
+        hot_mb=args.hot_mb,
+        max_inflight=args.max_inflight,
+        queue_size=args.queue_size,
+        max_sweeps=args.max_sweeps,
+        request_timeout=args.timeout,
+    )
+    server = HttpServer(app.handle, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"repro serve: listening on http://{server.host}:{server.port} "
+              f"(cache: {cache.root}, hot tier: {args.hot_mb:g} MiB)")
+        sys.stdout.flush()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        app.close()
+    return 0
+
+
 def _load(args: argparse.Namespace) -> ScenarioConfig:
     if args.scenario:
         return load_scenario(args.scenario, args.scenario, args.scenario)
@@ -718,6 +808,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _ablate_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment:
         return _run_experiment(args.experiment, args.scale)

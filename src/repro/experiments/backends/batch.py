@@ -42,6 +42,7 @@ from __future__ import annotations
 import abc
 import json
 import os
+import re
 import shutil
 import threading
 import time
@@ -72,30 +73,60 @@ __all__ = [
 WORKER_MODULE = "repro.experiments.remote_worker"
 
 
-def expand_indices(token: str) -> list:
-    """Task-index tokens: ``3``, ``[0-4]``, ``0,2-5``, ``0-15:4`` steps.
+#: one array-index chunk: ``7``, ``0-15``, ``0-15:4``, each with an optional
+#: ``%limit`` throttle suffix (squeue prints the array throttle inline)
+_CHUNK_RE = re.compile(r"^(\d+)(?:-(\d+)(?::(\d+))?)?(?:%(\d+))?$")
 
-    ``%limit`` throttle suffixes are stripped.  Malformed chunks are
-    skipped (never raise -- this runs inside poll paths that must not),
-    so a fully malformed token yields ``[]``; callers treat an empty
-    expansion as "no state learned", which burns unknown-grace polls
-    rather than mis-marking a task.
+
+def expand_indices(token: str) -> list:
+    """Expand a scheduler task-index token into a list of task indices.
+
+    Understands every form the real ``squeue``/``sacct`` emit: single
+    indices (``3``), ranges (``[0-4]``), stepped ranges (``0-15:4``),
+    ``%limit`` throttle suffixes (``[0-31%8]``, ``5%1``, ``0-15:4%2``),
+    and comma lists mixing all of the above (``0,4-12:4``).
+
+    Anything else raises :class:`ValueError` **loudly**.  The old
+    behavior -- silently skipping malformed chunks, so an unrecognized
+    token expanded to ``[]`` -- meant the affected tasks were never
+    marked and burned ``unknown_grace`` polls before being declared
+    vanished.  Poll-path callers that must not raise catch this and
+    treat the token as "no state learned" explicitly (with a warning),
+    instead of the parser hiding the problem.
     """
-    token = token.strip().strip("[]").split("%")[0]
-    indices = []
-    for chunk in token.split(","):
-        chunk = chunk.strip()
-        if not chunk:
+    text = token.strip()
+    if text.startswith("[") and text.endswith("]"):
+        text = text[1:-1]
+    indices: list = []
+    for chunk in text.split(","):
+        match = _CHUNK_RE.match(chunk.strip())
+        if match is None:
+            raise ValueError(
+                f"unrecognized scheduler array-index token {token!r} "
+                f"(cannot parse chunk {chunk.strip()!r})"
+            )
+        lo, hi, step, limit = match.groups()
+        if limit is not None and int(limit) < 1:
+            raise ValueError(
+                f"unrecognized scheduler array-index token {token!r} "
+                f"(throttle %{limit} must be >= 1)"
+            )
+        if hi is None:
+            indices.append(int(lo))
             continue
-        lo, sep, hi = chunk.partition("-")
-        try:
-            if sep:
-                hi, _, step = hi.partition(":")
-                indices.extend(range(int(lo), int(hi) + 1, int(step) if step else 1))
-            else:
-                indices.append(int(chunk))
-        except ValueError:
-            continue
+        lo_i, hi_i = int(lo), int(hi)
+        step_i = int(step) if step is not None else 1
+        if step_i < 1:
+            raise ValueError(
+                f"unrecognized scheduler array-index token {token!r} "
+                f"(step :{step} must be >= 1)"
+            )
+        if hi_i < lo_i:
+            raise ValueError(
+                f"unrecognized scheduler array-index token {token!r} "
+                f"(descending range {lo_i}-{hi_i})"
+            )
+        indices.extend(range(lo_i, hi_i + 1, step_i))
     return indices
 
 

@@ -37,6 +37,7 @@ as over SSH.
 
 from __future__ import annotations
 
+import logging
 import os
 import re
 import shlex
@@ -217,6 +218,30 @@ class SlurmCliTransport(SchedulerTransport):
             pass
 
 
+_log = logging.getLogger(__name__)
+
+#: tokens already warned about -- scheduler output repeats every poll, the
+#: warning must not
+_warned_tokens: set = set()
+
+
+def _expand_quiet(token: str) -> list:
+    """Poll-path wrapper around the (loud) :func:`expand_indices`.
+
+    The poll loop must never raise, but an unrecognized squeue/sacct
+    token must not be *silent* either: it is logged once, and the empty
+    expansion means "no state learned" -- the affected tasks keep their
+    unknown-grace budget instead of being mis-marked.
+    """
+    try:
+        return _expand_indices(token)
+    except ValueError as exc:
+        if token not in _warned_tokens:
+            _warned_tokens.add(token)
+            _log.warning("ignoring scheduler output: %s", exc)
+        return []
+
+
 def _parse_sacct(out: str, job_id: str) -> dict:
     """``sacct -n -P -X -o JobID,State`` lines -> {array index: STATE}."""
     states: dict = {}
@@ -230,7 +255,7 @@ def _parse_sacct(out: str, job_id: str) -> dict:
         normalized = _normalize_state(state)  # "CANCELLED by 0", "COMPLETED+"
         if not normalized:
             continue
-        for idx in _expand_indices(token):
+        for idx in _expand_quiet(token):
             states[idx] = normalized
     return states
 
@@ -245,7 +270,7 @@ def _parse_squeue(out: str) -> dict:
         normalized = _normalize_state(state)
         if not normalized:
             continue
-        for idx in _expand_indices(token):
+        for idx in _expand_quiet(token):
             states[idx] = normalized
     return states
 

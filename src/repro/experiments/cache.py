@@ -78,10 +78,12 @@ class ResultCache:
         root: Optional[Path] = None,
         code_hash: Optional[str] = None,
         enabled: bool = True,
+        journal_shards: int = 1,
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.code_hash = code_hash if code_hash is not None else code_version_hash()
         self.enabled = enabled
+        self.journal_shards = max(1, int(journal_shards))
         self.hits = 0
         self.misses = 0
 
@@ -168,44 +170,119 @@ class ResultCache:
         """Append entry dicts as journal lines, safely against concurrent writers.
 
         Two sweeps (or two federation sites syncing into one shared cache
-        dir) may append concurrently; an exclusive ``flock`` plus a single
-        ``write`` per batch keeps lines from interleaving mid-record.
-        Best-effort like :meth:`record`: I/O errors are swallowed.
+        dir) may append concurrently; an exclusive ``flock`` plus an
+        ``O_APPEND`` write per batch keeps lines from interleaving
+        mid-record.  Exception safety is part of the contract: whatever a
+        write raises mid-line, the lock is released and the fd closed on
+        every path, so a failed appender can never wedge every later one.
+        Best-effort like :meth:`record`: I/O errors are swallowed (a torn
+        final line from a killed/failed appender is tolerated -- and
+        never re-served -- by :meth:`journal_entries`).
+
+        With ``journal_shards > 1`` each entry lands in the shard file its
+        cache key hashes to, so concurrent appenders for different keys
+        take *different* flocks instead of serializing on one.
         """
         if not self.enabled or not entries:
             return
-        blob = "".join(json.dumps(e, sort_keys=True) + "\n" for e in entries)
+        groups: dict = {}
+        for entry in entries:
+            key = entry.get("key") if isinstance(entry, dict) else None
+            path = self.journal_shard_path(key)
+            groups.setdefault(path, []).append(json.dumps(entry, sort_keys=True) + "\n")
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            with open(self.journal_path, "a", encoding="utf-8") as fh:
-                if fcntl is not None:
-                    fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
-                try:
-                    fh.write(blob)
-                    fh.flush()
-                finally:
-                    if fcntl is not None:
-                        fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
         except OSError:
-            pass
+            return
+        for path, lines in groups.items():
+            self._locked_append(path, "".join(lines).encode("utf-8"))
+
+    @staticmethod
+    def _locked_append(path: Path, blob: bytes) -> None:
+        """flock + append ``blob`` to ``path``; fd-safe on every exception path."""
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o666)
+        except OSError:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                offset = 0
+                while offset < len(blob):
+                    offset += os.write(fd, blob[offset:])
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+        except OSError:
+            pass  # best-effort: a torn line is recovered around, never served
+        finally:
+            os.close(fd)
 
     @property
     def journal_path(self) -> Path:
+        """Shard 0 of the journal (the whole journal pre-sharding)."""
         return self.root / "journal.jsonl"
 
+    def journal_shard_path(self, key: Optional[str]) -> Path:
+        """The shard file an entry for ``key`` is appended to."""
+        if self.journal_shards == 1 or not isinstance(key, str) or not key:
+            return self.journal_path
+        try:
+            shard = int(key[:8], 16) % self.journal_shards
+        except ValueError:
+            shard = 0
+        if shard == 0:
+            return self.journal_path
+        return self.root / f"journal.{shard:02d}.jsonl"
+
+    def journal_paths(self) -> list:
+        """Every existing journal shard file, shard 0 first."""
+        paths = []
+        if self.journal_path.exists():
+            paths.append(self.journal_path)
+        if self.root.exists():
+            paths.extend(sorted(self.root.glob("journal.[0-9][0-9].jsonl")))
+        return paths
+
+    def journal_watermark(self) -> int:
+        """Total bytes across all journal shards: a cheap, monotonically
+        increasing high-water mark.  Any advance means provenance was
+        appended (a sweep wrote results, a federation sync imported
+        entries), which is what the serve layer's hot tier keys its
+        invalidation on."""
+        total = 0
+        for path in self.journal_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
     def journal_entries(self) -> list:
-        """Parsed provenance journal, oldest first.
+        """Parsed provenance journal (all shards merged), oldest first.
 
         Tolerates damage from unlocked/foreign appenders (an rsync'd
         journal, a writer without :meth:`journal_append`'s lock): torn
         lines are skipped and multiple records interleaved onto one
-        physical line are each recovered.
+        physical line are each recovered.  With a single journal file the
+        file order is preserved exactly; across shards, entries merge by
+        their ``time`` field (stable, so within-shard order survives).
         """
-        try:
-            text = self.journal_path.read_text(encoding="utf-8")
-        except OSError:
+        per_file = []
+        for path in self.journal_paths():
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            per_file.append(_parse_journal_text(text))
+        if not per_file:
             return []
-        return _parse_journal_text(text)
+        if len(per_file) == 1:
+            return per_file[0]
+        merged = [entry for entries in per_file for entry in entries]
+        merged.sort(key=lambda e: e.get("time", 0.0) if isinstance(e.get("time"), (int, float)) else 0.0)
+        return merged
 
     def journal_by_key(self) -> dict:
         """Latest journal entry per cache key (for provenance lookups)."""

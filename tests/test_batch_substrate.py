@@ -28,25 +28,52 @@ class TestExpandIndices:
             ("3", [3]),
             ("[0-4]", [0, 1, 2, 3, 4]),
             ("0,2-4", [0, 2, 3, 4]),
-            ("[0-8%2]", list(range(9))),  # %limit throttle stripped
+            (" 7 ", [7]),
+            ("0-0", [0]),
             # stepped ranges: sbatch --array=0-15:4 prints as [0-15:4]
             ("[0-15:4]", [0, 4, 8, 12]),
             ("0-8:2", [0, 2, 4, 6, 8]),
+            # %limit throttle suffixes, whole-spec and per-chunk
+            ("[0-8%2]", list(range(9))),
+            ("[0-31%8]", list(range(32))),
             ("[0-8:2%3]", [0, 2, 4, 6, 8]),
+            ("0-15:4%2", [0, 4, 8, 12]),
+            ("5%1", [5]),  # single index with a throttle suffix
+            ("[5%1]", [5]),
+            # mixed comma lists with steps and suffixes
             ("1,4-8:2", [1, 4, 6, 8]),
-            # malformed input degrades chunk-by-chunk, never raises
-            ("", []),
-            ("garbage", []),
-            ("0-8:0", []),  # zero step would loop forever in SLURM too
-            ("0-8:x", []),
-            ("1,bad,3", [1, 3]),
-            ("5-3", []),  # empty range, not an error
-            ("[%2]", []),
-            (" 7 ", [7]),
+            ("0,4-12:4", [0, 4, 8, 12]),
+            ("0,2-4,9%2", [0, 2, 3, 4, 9]),
         ],
     )
     def test_expand(self, token, expected):
         assert expand_indices(token) == expected
+
+    @pytest.mark.parametrize(
+        "token",
+        [
+            # pre-fix, all of these silently expanded to [] (or dropped the
+            # bad chunk), so the affected tasks were never marked and burned
+            # unknown_grace polls before being declared vanished
+            "",
+            "   ",
+            "[]",
+            "garbage",
+            "0-8:0",  # zero step would loop forever in SLURM too
+            "0-8:x",
+            "1,bad,3",  # one bad chunk poisons the token: all-or-nothing
+            "5-3",  # descending range: no real scheduler prints this
+            "[%2]",
+            "5%0",  # throttle must be >= 1
+            "-1",
+            "1-",
+            "1-2-3",
+            "N/A",
+        ],
+    )
+    def test_unrecognized_tokens_raise_loudly(self, token):
+        with pytest.raises(ValueError, match="array-index token"):
+            expand_indices(token)
 
 
 class TestNormalizeState:

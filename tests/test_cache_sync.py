@@ -309,3 +309,96 @@ class TestJournalHardening:
         (entry,) = cache.journal_entries()
         assert entry["code"] == cache.code_hash
         assert entry["host"] == "w0"
+
+    def test_write_failure_releases_lock_and_closes_fd(self, tmp_path, monkeypatch):
+        """An os.write that raises mid-line must leave no wedged lock or
+        leaked fd behind: the next appender proceeds normally."""
+        import os as _os
+
+        cache = ResultCache(tmp_path)
+        cache.journal_append([{"host": "ok0"}])
+
+        real_write = _os.write
+
+        def torn_write(fd, blob):
+            # write half the line, then fail: simulates ENOSPC mid-record
+            real_write(fd, blob[: len(blob) // 2])
+            raise OSError("injected: disk full")
+
+        fds_before = len(_os.listdir("/proc/self/fd"))
+        monkeypatch.setattr(_os, "write", torn_write)
+        cache.journal_append([{"host": "doomed", "pad": "x" * 256}])  # must not raise
+        monkeypatch.undo()
+        assert len(_os.listdir("/proc/self/fd")) == fds_before  # fd closed
+
+        # the lock was released: a fresh appender is not blocked, and its
+        # line is recovered even though it lands after the torn fragment
+        cache.journal_append([{"host": "ok1"}])
+        hosts = [e["host"] for e in cache.journal_entries()]
+        assert "ok0" in hosts and "ok1" in hosts
+        assert "doomed" not in hosts  # the torn record is never served
+
+    def test_torn_final_line_from_killed_appender_never_served(self, tmp_path):
+        """A crash between write and newline leaves a torn tail; later
+        appends land after it and both sides must parse correctly."""
+        cache = ResultCache(tmp_path)
+        cache.journal_append([{"host": "ok0"}])
+        with open(cache.journal_path, "a", encoding="utf-8") as fh:
+            fh.write('{"host": "torn", "elapsed"')  # killed mid-record
+        assert [e["host"] for e in cache.journal_entries()] == ["ok0"]
+        cache.journal_append([{"host": "ok1"}])
+        hosts = [e["host"] for e in cache.journal_entries()]
+        assert hosts == ["ok0", "ok1"]
+
+
+class TestJournalSharding:
+    """journal_shards > 1 splits appends across per-shard flocks while
+    journal_entries/journal_by_key still present one merged view."""
+
+    @staticmethod
+    def _entry(seed: int, t: float) -> dict:
+        key = f"{seed:08x}" + "0" * 56
+        return {"key": key, "time": t, "host": f"h{seed}"}
+
+    def test_entries_route_to_distinct_shard_files(self, tmp_path):
+        cache = ResultCache(tmp_path, journal_shards=4)
+        cache.journal_append([self._entry(s, float(s)) for s in range(8)])
+        paths = cache.journal_paths()
+        assert len(paths) == 4  # seeds 0..7 mod 4 cover every shard
+        assert paths[0] == cache.journal_path  # shard 0 keeps the legacy name
+
+    def test_merged_view_is_time_ordered_across_shards(self, tmp_path):
+        cache = ResultCache(tmp_path, journal_shards=4)
+        # append in scrambled time order, across different shards
+        for seed, t in [(1, 3.0), (2, 1.0), (3, 2.0), (0, 0.5)]:
+            cache.journal_append([self._entry(seed, t)])
+        hosts = [e["host"] for e in cache.journal_entries()]
+        assert hosts == ["h0", "h2", "h3", "h1"]
+        assert set(cache.journal_by_key()) == {
+            self._entry(s, 0.0)["key"] for s in range(4)
+        }
+
+    def test_same_key_always_lands_in_same_shard(self, tmp_path):
+        cache = ResultCache(tmp_path, journal_shards=4)
+        entry = self._entry(5, 1.0)
+        assert cache.journal_shard_path(entry["key"]) == cache.journal_shard_path(
+            entry["key"]
+        )
+        cache.journal_append([entry, {**entry, "time": 2.0}])
+        assert len(cache.journal_paths()) == 1  # one shard file touched
+
+    def test_watermark_advances_on_any_shard_append(self, tmp_path):
+        cache = ResultCache(tmp_path, journal_shards=4)
+        marks = [cache.journal_watermark()]
+        for seed in range(4):
+            cache.journal_append([self._entry(seed, float(seed))])
+            marks.append(cache.journal_watermark())
+        assert marks == sorted(marks) and len(set(marks)) == len(marks)
+
+    def test_single_shard_cache_reads_multi_shard_dir(self, tmp_path):
+        """A default (journal_shards=1) reader still sees every shard an
+        earlier sharded writer produced -- shard count is not persisted."""
+        writer = ResultCache(tmp_path, journal_shards=4)
+        writer.journal_append([self._entry(s, float(s)) for s in range(8)])
+        reader = ResultCache(tmp_path)
+        assert len(reader.journal_entries()) == 8

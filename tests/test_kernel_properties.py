@@ -19,10 +19,13 @@ invisible next to it.
 
 from __future__ import annotations
 
+import pickle
+from math import inf
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, event_pending
 from repro.sim.trace_digest import TraceDigest
 
 # -- operation grammar -----------------------------------------------------
@@ -248,6 +251,153 @@ class TestBatchEquivalence:
             return digest.hexdigest(), count, sim.processed
 
         assert drive(True) == drive(False)
+
+
+class SnapshotRecorder:
+    """Picklable callback target (closures cannot cross a snapshot).
+
+    Bound methods pickle by (instance, method name), so scheduling
+    ``rec.hit`` gives the kernel queue entries that survive a
+    ``pickle`` round-trip -- the same trick the federation snapshot
+    machinery relies on.
+    """
+
+    def __init__(self) -> None:
+        self.seen: list = []
+
+    def hit(self, idx: int) -> None:
+        self.seen.append(idx)
+
+
+snapshot_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), delays),
+        st.tuples(st.just("cancel"), st.integers(min_value=0)),
+        st.tuples(st.just("run_for"), delays),
+        st.just(("peek",)),
+        st.just(("step",)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def apply_picklable_ops(op_list, sim, rec, handles, model):
+    """Drive ``sim`` with snapshot-safe callbacks, mirrored in ``model``."""
+    for op in op_list:
+        name = op[0]
+        if name == "schedule":
+            idx = model.add(sim.now + op[1])
+            handles.append(sim.schedule(op[1], rec.hit, idx))
+        elif name == "cancel":
+            if handles:
+                k = op[1] % len(handles)
+                model.cancel(k)
+                sim.cancel(handles[k])
+        elif name == "run_for":
+            horizon = sim.now + op[1]
+            sim.run(until=horizon)
+            model.fire_up_to(horizon)
+        elif name == "peek":
+            # peek is observational: it may pop cancelled corpses off the
+            # heap top (with their accounting), but pending must not move
+            before = sim.pending
+            sim.peek()
+            assert sim.pending == before
+        elif name == "step":
+            progressed = sim.step()
+            assert progressed == (model.fire_up_to(inf, limit=1) == 1)
+        # accounting must be exact after *every* operation, and the
+        # cancelled-corpse counter can never exceed the physical heap
+        assert sim.pending == model.pending, (name, op)
+        assert 0 <= sim._cancelled_in_heap <= len(sim._queue)
+
+
+class TestSnapshotAccounting:
+    """The peek()/snapshot satellite audit, pinned as properties.
+
+    ``peek()`` mutates the heap (it pops cancelled corpses and moves
+    ``_cancelled_in_heap``); a snapshot taken in the window between
+    ``peek()`` and ``step()`` must round-trip that accounting exactly,
+    and ``pending`` must stay exact across ``__getstate__`` /
+    ``__setstate__`` with corpses still in the heap.
+    """
+
+    @settings(max_examples=100, deadline=None)
+    @given(snapshot_ops)
+    def test_snapshot_between_peek_and_step_roundtrips_exactly(self, op_list):
+        sim = Simulator()
+        rec = SnapshotRecorder()
+        handles: list = []
+        model = Model()
+        apply_picklable_ops(op_list, sim, rec, handles, model)
+
+        # the window under audit: peek() (corpse-popping), then snapshot
+        sim.peek()
+        cancelled_before = sim._cancelled_in_heap
+        pending_before = sim.pending
+        assert pending_before == model.pending
+
+        sim2, rec2, handles2 = pickle.loads(pickle.dumps((sim, rec, handles)))
+        assert sim2._cancelled_in_heap == cancelled_before
+        assert sim2.pending == pending_before
+        assert sim2.now == sim.now and sim2.processed == sim.processed
+
+        # step both through the same window, then drain both: the restored
+        # kernel must dispatch the identical remaining stream
+        assert sim.step() == sim2.step()
+        assert (sim.now, sim.pending, sim.processed) == (
+            sim2.now,
+            sim2.pending,
+            sim2.processed,
+        )
+        sim.run()
+        sim2.run()
+        assert rec2.seen == rec.seen
+        assert sim.pending == sim2.pending == 0
+        assert sim._cancelled_in_heap == sim2._cancelled_in_heap == 0
+        assert sim.processed == sim2.processed
+
+    @settings(max_examples=60, deadline=None)
+    @given(snapshot_ops, st.integers(min_value=0))
+    def test_restored_handles_alias_the_restored_queue(self, op_list, pick):
+        """Event handles pickled alongside the kernel stay live: cancelling
+        through a restored handle must move the restored kernel's pending
+        count (pickle-memo aliasing, which the federation snapshots lean on)."""
+        sim = Simulator()
+        rec = SnapshotRecorder()
+        handles: list = []
+        model = Model()
+        apply_picklable_ops(op_list, sim, rec, handles, model)
+        sim2, rec2, handles2 = pickle.loads(pickle.dumps((sim, rec, handles)))
+        live = [h for h in handles2 if event_pending(h)]
+        assert len(live) == sim2.pending
+        if live:
+            target = live[pick % len(live)]
+            before = sim2.pending
+            sim2.cancel(target)
+            assert sim2.pending == before - 1
+
+    def test_corpse_at_heap_top_survives_snapshot(self):
+        """Deterministic pin: cancel the earliest event so a corpse sits at
+        the heap top, snapshot, and check the counter round-trips and that
+        a restored peek() pops the corpse without going negative."""
+        sim = Simulator()
+        rec = SnapshotRecorder()
+        first = sim.schedule(1.0, rec.hit, 0)
+        sim.schedule(2.0, rec.hit, 1)
+        sim.cancel(first)
+        assert sim._cancelled_in_heap == 1 and sim.pending == 1
+
+        sim2, rec2 = pickle.loads(pickle.dumps((sim, rec)))
+        assert sim2._cancelled_in_heap == 1 and sim2.pending == 1
+        assert sim2.peek() == 2.0  # pops the corpse, accounting follows
+        assert sim2._cancelled_in_heap == 0 and sim2.pending == 1
+        # snapshot again in the post-peek window: still exact
+        sim3, rec3 = pickle.loads(pickle.dumps((sim2, rec2)))
+        assert sim3._cancelled_in_heap == 0 and sim3.pending == 1
+        sim3.run()
+        assert rec3.seen == [1] and sim3.pending == 0
 
 
 class TestCompaction:

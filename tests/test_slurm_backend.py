@@ -346,12 +346,15 @@ class TestSchedulerParsing:
             ("[0-4]", [0, 1, 2, 3, 4]),
             ("0,2-4", [0, 2, 3, 4]),
             ("[0-8%2]", list(range(9))),
-            ("", []),
-            ("garbage", []),
         ],
     )
     def test_expand_indices(self, token, expected):
         assert _expand_indices(token) == expected
+
+    @pytest.mark.parametrize("token", ["", "garbage"])
+    def test_expand_indices_rejects_garbage(self, token):
+        with pytest.raises(ValueError):
+            _expand_indices(token)
 
     def test_parse_sacct_filters_and_normalizes(self):
         out = (

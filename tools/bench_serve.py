@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Measure repro-serve throughput and tail latency; record or gate it.
+
+Starts the real server stack in-process (ephemeral port, temp cache
+pre-warmed with one computed grid point per synthetic experiment key)
+and hammers the memoized point-fetch route from ``--clients`` concurrent
+keep-alive connections at two or more concurrency levels.  Reported per
+level, best of ``--repeat`` runs by QPS:
+
+* ``qps`` -- completed requests per wall-clock second,
+* ``p50_ms`` / ``p99_ms`` -- client-observed latency percentiles,
+* ``hot_ratio`` -- fraction of responses served from the in-memory hot
+  tier (the steady state should be ~1.0: only each key's first fetch
+  touches disk).
+
+Modes::
+
+    python tools/bench_serve.py                    # print a report
+    python tools/bench_serve.py --json out.json    # machine-readable
+    python tools/bench_serve.py --record "label"   # append to the committed
+                                                   #   trajectory
+                                                   #   (benchmarks/BENCH_serve.json)
+    python tools/bench_serve.py --gate             # exit 1 on regression
+
+The gate enforces a floor on single-level QPS against the committed
+baseline: current ``qps`` at the highest concurrency level must reach
+``baseline * $HC3I_BENCH_ABS_SLACK`` (default 0.5 -- serving numbers
+swing more across machines than pure-CPU kernel numbers, so the default
+slack is generous; tighten it on a pinned benchmark host).
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO / "benchmarks" / "BENCH_serve.json"
+
+sys.path.insert(0, str(REPO / "src"))
+
+
+def _percentile(samples: list, q: float) -> float:
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def start_server(n_keys: int = 8, hot_mb: float = 16.0):
+    """Real ServeApp on an ephemeral port over a pre-warmed temp cache."""
+    from repro.experiments import registry
+    from repro.experiments.cache import ResultCache
+    from repro.serve import ServeApp, start_in_thread
+
+    tmp = tempfile.mkdtemp(prefix="bench-serve-")
+    cache = ResultCache(Path(tmp), journal_shards=4)
+    # pre-warm: n_keys distinct seeds of the cheapest real experiment, so
+    # the benchmark measures serving, not simulation
+    exp = registry.get("table1")
+    grid0 = exp.build_grid({"nodes": 4, "total_time": 600.0})[0]
+    keys = []
+    for seed in range(n_keys):
+        params = {**grid0, "seed": seed}
+        cache.put(exp.name, params, exp.point(params))
+        keys.append(seed)
+    app = ServeApp(cache=cache, hot_mb=hot_mb, max_inflight=4)
+    handle = start_in_thread(app)
+    paths = [
+        f"/experiments/table1/points?scale=tiny&total_time=600.0&seed={seed}"
+        for seed in keys
+    ]
+    return handle, paths
+
+
+def run_level(handle, paths: list, clients: int, duration: float) -> dict:
+    """Hammer ``paths`` from ``clients`` keep-alive connections."""
+    stop_at = time.perf_counter() + duration
+    results: list = [None] * clients
+
+    def worker(idx: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=10)
+        latencies, count, hot = [], 0, 0
+        i = idx  # stagger key order across clients
+        while time.perf_counter() < stop_at:
+            path = paths[i % len(paths)]
+            i += 1
+            t0 = time.perf_counter()
+            conn.request("GET", path)
+            resp = conn.getresponse()
+            body = resp.read()
+            latencies.append(time.perf_counter() - t0)
+            assert resp.status == 200, (resp.status, body[:200])
+            count += 1
+            if resp.getheader("X-Repro-Source") == "hot":
+                hot += 1
+        conn.close()
+        results[idx] = (count, hot, latencies)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(clients)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    total = sum(r[0] for r in results)
+    hot = sum(r[1] for r in results)
+    latencies = [s for r in results for s in r[2]]
+    return {
+        "clients": clients,
+        "requests": total,
+        "qps": round(total / elapsed, 1),
+        "p50_ms": round(_percentile(latencies, 50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 99) * 1e3, 3),
+        "mean_ms": round(statistics.fmean(latencies) * 1e3, 3),
+        "hot_ratio": round(hot / total, 4) if total else 0.0,
+    }
+
+
+def measure(levels: list, duration: float = 2.0, repeat: int = 2) -> dict:
+    handle, paths = start_server()
+    try:
+        # warm every key into the hot tier once so levels measure steady state
+        run_level(handle, paths, clients=1, duration=0.25)
+        measured = []
+        for clients in levels:
+            best = max(
+                (run_level(handle, paths, clients, duration) for _ in range(repeat)),
+                key=lambda r: r["qps"],
+            )
+            measured.append(best)
+    finally:
+        handle.stop()
+    return {
+        "levels": measured,
+        "python": ".".join(map(str, sys.version_info[:3])),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", metavar="PATH", help="write results as JSON")
+    parser.add_argument(
+        "--record",
+        metavar="LABEL",
+        help="append a labelled entry to the committed trajectory "
+        f"({BENCH_JSON.relative_to(REPO)})",
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero if serving QPS regressed (see module doc)",
+    )
+    parser.add_argument(
+        "--clients",
+        default="1,8",
+        help="comma list of concurrency levels (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=2.0, help="seconds per level (default 2)"
+    )
+    parser.add_argument("--repeat", type=int, default=2, help="best-of-N (default 2)")
+    args = parser.parse_args(argv)
+
+    levels = [int(c) for c in args.clients.split(",") if c.strip()]
+    results = measure(levels, duration=args.duration, repeat=args.repeat)
+    committed = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+
+    for level in results["levels"]:
+        print(
+            f"clients={level['clients']:<3d} qps={level['qps']:<9g} "
+            f"p50={level['p50_ms']}ms p99={level['p99_ms']}ms "
+            f"hot_ratio={level['hot_ratio']}"
+        )
+
+    if args.json:
+        payload = {"results": results}
+        if committed:
+            payload["committed_baseline"] = committed.get("baseline")
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.record:
+        committed.setdefault("trajectory", []).append(
+            {"label": args.record, **results}
+        )
+        BENCH_JSON.write_text(json.dumps(committed, indent=2) + "\n")
+        print(f"recorded {args.record!r} into {BENCH_JSON.relative_to(REPO)}")
+
+    if args.gate:
+        failures = []
+        top = max(results["levels"], key=lambda r: r["clients"])
+        baseline_levels = (committed.get("baseline") or {}).get("levels") or []
+        baseline = next(
+            (b["qps"] for b in baseline_levels if b["clients"] == top["clients"]),
+            None,
+        )
+        if baseline:
+            slack = float(os.environ.get("HC3I_BENCH_ABS_SLACK", "0.5"))
+            floor = baseline * slack
+            if top["qps"] < floor:
+                failures.append(
+                    f"absolute gate: {top['qps']} qps at {top['clients']} clients "
+                    f"< committed baseline {baseline} x slack {slack} "
+                    "(HC3I_BENCH_ABS_SLACK)"
+                )
+        if top["hot_ratio"] < 0.5:
+            failures.append(
+                f"hot-tier gate: hot_ratio {top['hot_ratio']} < 0.5 -- the "
+                "memoized path is not actually serving from memory"
+            )
+        if failures:
+            for failure in failures:
+                print(f"GATE FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"GATE OK: {top['qps']} qps at {top['clients']} clients")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
