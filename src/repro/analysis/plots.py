@@ -41,7 +41,7 @@ def ascii_plot(
         raise ValueError("canvas too small")
 
     all_y = [float(y) for ys in series.values() for y in ys]
-    y_min = min(all_y + [0.0])
+    y_min = min([*all_y, 0.0])
     y_max = max(all_y)
     if y_max == y_min:
         y_max = y_min + 1.0

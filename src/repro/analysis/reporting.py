@@ -52,8 +52,8 @@ def format_series(
     title: Optional[str] = None,
 ) -> str:
     """Render figure data: one row per x value, one column per series."""
-    headers = [x_label] + list(series)
+    headers = [x_label, *series]
     rows = []
     for i, x in enumerate(xs):
-        rows.append([x] + [series[name][i] for name in series])
+        rows.append([x, *(series[name][i] for name in series)])
     return format_table(headers, rows, title=title)

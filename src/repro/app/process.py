@@ -88,8 +88,8 @@ def _compute_communicate(
     # Destination lottery: one slot per cluster plus "silence".
     probs = [spec.probability_to(d) for d in range(n_clusters)]
     silence = max(0.0, 1.0 - sum(probs))
-    choices = list(range(n_clusters)) + [None]
-    weights = probs + [silence]
+    choices = [*range(n_clusters), None]
+    weights = [*probs, silence]
 
     ph = _phase if _phase is not None else {}
     gate = ph.get("at")

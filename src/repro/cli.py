@@ -31,6 +31,12 @@ Federation cache sync moves finished results between sites::
     repro cache import siteA.tar.gz          # at site B
     repro cache merge /mnt/siteA-cache ~/.cache/hc3i-repro
 
+The static determinism/concurrency contract checker
+(``docs/static-analysis.md``)::
+
+    repro lint
+    repro lint --list-rules
+
 See ``docs/sweeps.md`` for the sweep-engine guide (scales, caching,
 multi-host execution, batch schedulers, cache sync) and
 ``docs/architecture.md`` for the module map.
@@ -57,8 +63,16 @@ __all__ = [
     "build_ablate_parser",
     "build_sweep_parser",
     "build_cache_parser",
+    "build_lint_parser",
     "build_serve_parser",
 ]
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Parser for ``repro lint`` (defined in :mod:`repro.lint.cli`)."""
+    from repro.lint.cli import build_parser as build
+
+    return build()
 
 #: grid overrides per --scale profile ("full" = the grids' paper defaults)
 SCALE_PROFILES = {
@@ -810,6 +824,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment:
         return _run_experiment(args.experiment, args.scale)

@@ -47,7 +47,7 @@ class StableStorage:
 
     def holders_of(self, node: int) -> list:
         """All nodes holding ``node``'s state (itself + replicas)."""
-        return [node] + self.replica_holders(node)
+        return [node, *self.replica_holders(node)]
 
     def states_held_by(self, node: int, stored_clcs: int) -> int:
         """Local states in ``node``'s memory given ``stored_clcs`` CLCs.

@@ -18,7 +18,7 @@ multiple CLCs; the garbage collector prunes them (§3.5).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.ddv import DDV
@@ -68,7 +68,7 @@ class CheckpointRecord:
     time: float
     cause: CheckpointCause
     cluster: int
-    delivered_ids: frozenset = frozenset()
+    delivered_ids: frozenset = field(default_factory=frozenset)
     state_bytes: int = 0
     queued: tuple = ()
 

@@ -58,7 +58,7 @@ class Figure5Outcome:
 def figure5_scenario(
     seed: int = 0,
     nodes_per_cluster: int = 2,
-    protocol_options: dict = None,
+    protocol_options: dict | None = None,
 ) -> Figure5Outcome:
     """Run the worked example; returns the recorded outcome.
 

@@ -1,0 +1,80 @@
+"""Baseline file support: the committed zero-findings state.
+
+A baseline freezes a set of *accepted* findings so the lint gate can be
+turned on before every legacy finding is fixed, then ratcheted: CI runs
+``repro lint --baseline``, which fails only on findings **not** in the
+committed file.  This repository's committed baseline
+(``tools/lint_baseline.json``) is empty -- every finding the initial
+rule set surfaced was fixed or explicitly suppressed in source -- and
+the intent is that it stays empty: regenerate it only to *shrink* an
+interim baseline, never to absorb new findings.
+
+Matching is line-insensitive (rule, path, message): unrelated edits that
+shift a baselined finding up or down must not un-baseline it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.lint.engine import Finding, LintError
+
+__all__ = ["DEFAULT_BASELINE", "apply_baseline", "load_baseline", "write_baseline"]
+
+#: where ``--baseline`` / ``--update-baseline`` look without an argument
+DEFAULT_BASELINE = "tools/lint_baseline.json"
+
+_FORMAT = 1
+
+
+def load_baseline(path) -> List[dict]:
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise LintError(
+            f"baseline file {source} does not exist "
+            "(create one with --update-baseline)"
+        ) from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"baseline file {source} is unreadable: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise LintError(
+            f"baseline file {source} has an unknown format "
+            f"(expected format={_FORMAT})"
+        )
+    findings = payload.get("findings", [])
+    if not isinstance(findings, list):
+        raise LintError(f"baseline file {source}: 'findings' must be a list")
+    return findings
+
+
+def write_baseline(path, findings: List[Finding]) -> None:
+    payload = {
+        "format": _FORMAT,
+        "comment": (
+            "Accepted repro-lint findings.  The committed state of this "
+            "file is the gate: `repro lint --baseline` fails only on "
+            "findings not listed here.  Keep it empty; shrink, never grow."
+        ),
+        "findings": [f.as_dict() for f in findings],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: List[Finding], baseline_entries: List[dict]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into (new, baselined) against the baseline entries."""
+    accepted = {
+        (entry.get("rule"), entry.get("path"), entry.get("message"))
+        for entry in baseline_entries
+        if isinstance(entry, dict)
+    }
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        (baselined if finding.baseline_key() in accepted else new).append(finding)
+    return new, baselined

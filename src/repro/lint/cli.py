@@ -1,0 +1,158 @@
+"""``repro lint``: the determinism & concurrency contract checker CLI.
+
+Usage::
+
+    repro lint                        # lint the installed repro package
+    repro lint src tests/fixtures     # explicit paths (files or dirs)
+    repro lint --rule SNAP001         # one rule (repeatable)
+    repro lint --json                 # machine-readable findings
+    repro lint --baseline             # fail only on non-baselined findings
+    repro lint --update-baseline      # rewrite the baseline from this run
+    repro lint --list-rules           # rule catalog with motivating incidents
+
+Exit status: 0 on zero reportable findings, 1 when findings remain,
+2 on usage/configuration errors.  See ``docs/static-analysis.md`` for
+the rule catalog and the suppression syntax
+(``# repro-lint: ignore[RULE001] -- why it is safe``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import LintError, run_lint
+from repro.lint.rules import all_rules
+
+__all__ = ["build_parser", "default_paths", "lint_main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based determinism & concurrency contract checker for this "
+            "repository (rule catalog: docs/static-analysis.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint (default: the installed repro "
+            "package -- src/repro in a checkout)"
+        ),
+    )
+    parser.add_argument(
+        "--rule",
+        dest="rules",
+        action="append",
+        default=None,
+        metavar="RULE_ID",
+        help="run only this rule (repeatable); see --list-rules",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as JSON instead of ruler lines",
+    )
+    parser.add_argument(
+        "--baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="PATH",
+        help=(
+            "fail only on findings absent from this baseline file "
+            f"(default path: {DEFAULT_BASELINE})"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the current unsuppressed findings as the new baseline "
+            f"(default path: {DEFAULT_BASELINE}) and exit 0"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id, title, motivating incident) and exit",
+    )
+    return parser
+
+
+def default_paths() -> List[str]:
+    """The repro package directory -- ``src/repro`` when run in a checkout."""
+    import repro
+
+    return [str(Path(repro.__file__).parent)]
+
+
+def _list_rules() -> int:
+    for rule in all_rules().values():
+        print(f"{rule.id}  {rule.title}")
+        print(f"        incident: {rule.incident}")
+    return 0
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    paths = args.paths or default_paths()
+    try:
+        report = run_lint(paths, rules=args.rules)
+        findings = report.findings
+        baselined = []
+        if args.update_baseline is not None:
+            write_baseline(args.update_baseline, findings)
+            print(
+                f"[lint] baseline {args.update_baseline} updated: "
+                f"{len(findings)} finding(s) recorded"
+            )
+            return 0
+        if args.baseline is not None:
+            findings, baselined = apply_baseline(
+                findings, load_baseline(args.baseline)
+            )
+    except LintError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {
+            "findings": [f.as_dict() for f in findings],
+            "baselined": [f.as_dict() for f in baselined],
+            "suppressed": [f.as_dict() for f in report.suppressed],
+            "files_checked": report.files_checked,
+            "rules_run": list(report.rules_run),
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        for finding in findings:
+            print(finding.format())
+        bits = [
+            f"{len(findings)} finding(s)",
+            f"{report.files_checked} file(s)",
+            f"{len(report.rules_run)} rule(s)",
+        ]
+        if report.suppressed:
+            bits.append(f"{len(report.suppressed)} suppressed")
+        if baselined:
+            bits.append(f"{len(baselined)} baselined")
+        print(f"[lint] {', '.join(bits)}")
+    return 1 if findings else 0

@@ -1,0 +1,128 @@
+"""ASYNC001: blocking calls on the serving event loop.
+
+``repro serve`` is one asyncio loop handling every client; a single
+synchronous ``time.sleep``, subprocess wait, file read, or -- worst --
+inline ``run_experiment`` freezes *all* connections for its duration
+(and trips keep-alive clients into timeouts long before the work
+finishes).  The serving layer's contract is that anything slower than a
+dict lookup runs on the executor (``loop.run_in_executor`` /
+``asyncio.to_thread``) -- see ``ServeApp._fetch_point``'s compute tier.
+This rule flags known-blocking calls lexically inside ``async def``
+bodies; passing the same functions *by reference* to the executor stays
+legal because no call happens on the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.lint.rules import Rule, dotted_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import Finding, Module, Project
+
+__all__ = ["Async001BlockingInAsync"]
+
+#: attribute/function names that block wherever they appear
+_BLOCKING_ATTRS = frozenset({"read_text", "write_text", "read_bytes", "write_bytes"})
+_EXECUTOR_FNS = frozenset({"to_thread", "run_in_executor"})
+
+
+def _blocking_reason(node: ast.Call) -> Optional[str]:
+    chain = dotted_chain(node.func)
+    if not chain:
+        # a method on a computed receiver -- Path(p).read_text() -- has no
+        # dotted chain, but the method name alone is enough to flag
+        if isinstance(node.func, ast.Attribute):
+            chain = (node.func.attr,)
+        else:
+            return None
+    head, tail = chain[0], chain[-1]
+    if chain in (("time", "sleep"), ("sleep",)):
+        return "time.sleep() stalls the whole event loop; use asyncio.sleep()"
+    if head == "subprocess":
+        return (
+            f"subprocess.{tail}() blocks the loop on a child process; run it "
+            "on the executor"
+        )
+    if chain in (("open",), ("io", "open"), ("os", "open")):
+        return (
+            "synchronous file IO on the event loop; read/write on the "
+            "executor (loop.run_in_executor / asyncio.to_thread)"
+        )
+    if tail in _BLOCKING_ATTRS:
+        return (
+            f".{tail}() is synchronous file IO on the event loop; move it to "
+            "the executor"
+        )
+    if tail == "run_experiment":
+        return (
+            "run_experiment() can run for minutes; it must go through the "
+            "executor/worker-thread path, never inline on the loop"
+        )
+    return None
+
+
+class Async001BlockingInAsync(Rule):
+    id = "ASYNC001"
+    title = "blocking call inside an async def body"
+    incident = (
+        "Preventive, from the PR 8 serve design: the compute tier exists "
+        "precisely because one inline run_experiment() (or any sync "
+        "sleep/subprocess/file IO) freezes every connection the "
+        "single-loop server is handling."
+    )
+
+    def check(self, module: "Module", project: "Project") -> Iterator["Finding"]:
+        config = project.config
+        if not config.in_scope(module.name, config.async_scopes):
+            return
+        for func in ast.walk(module.tree):
+            if isinstance(func, ast.AsyncFunctionDef):
+                yield from self._check_async_body(module, func)
+
+    def _check_async_body(
+        self, module: "Module", func: ast.AsyncFunctionDef
+    ) -> Iterator["Finding"]:
+        for node in self._walk_same_frame(func):
+            if not isinstance(node, ast.Call):
+                continue
+            reason = _blocking_reason(node)
+            if reason is None:
+                continue
+            if self._inside_executor_dispatch(module, node, func):
+                continue
+            yield module.finding(self.id, node, reason)
+
+    @staticmethod
+    def _walk_same_frame(func: ast.AsyncFunctionDef):
+        """Walk ``func``'s body without entering nested def/lambda frames.
+
+        A nested ``def`` handed to the executor runs on a worker thread;
+        judging its body by event-loop rules would force suppressions on
+        exactly the code that did the right thing.
+        """
+        stack = list(func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _inside_executor_dispatch(
+        module: "Module", node: ast.Call, func: ast.AsyncFunctionDef
+    ) -> bool:
+        """True if ``node`` sits in the arguments of an executor dispatch."""
+        current: ast.AST = node
+        for ancestor in module.ancestors(node):
+            if isinstance(ancestor, ast.Call):
+                chain = dotted_chain(ancestor.func)
+                if chain and chain[-1] in _EXECUTOR_FNS and current is not ancestor.func:
+                    return True
+            if ancestor is func:
+                break
+            current = ancestor
+        return False

@@ -1,0 +1,137 @@
+"""LOCK001: exclusive flocks must unlock *and* close in a ``finally``.
+
+The PR 8 incident: ``journal_append`` took an exclusive ``flock`` on a
+*buffered* appender, wrote, and released the lock in a ``finally`` -- but
+the ``with open(...)`` close ran after the unlock, so on a partial-write
+error Python's buffered layer flushed the remaining bytes *outside* the
+lock, tearing a concurrent appender's record mid-line.  The fix (still in
+``repro/experiments/cache.py:_locked_append``) is the shape this rule
+demands: raw fd, unlock in one ``finally``, ``os.close`` in a ``finally``
+as well, so no buffered byte can ever trail the unlock and no exception
+path can leak the fd (a leaked flocked fd wedges every later appender
+for the life of the process).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.lint.rules import Rule, dotted_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import Finding, Module, Project
+
+__all__ = ["Lock001FlockDiscipline"]
+
+_LOCK_FNS = ("flock", "lockf")
+
+
+def _mode_names(node: ast.expr) -> List[str]:
+    """Flag-ish names mentioned in a lock-mode expression (handles ``|``)."""
+    names = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            names.append(sub.attr)
+        elif isinstance(sub, ast.Name):
+            names.append(sub.id)
+    return names
+
+
+def _lock_call(node: ast.AST) -> Optional[str]:
+    """``"EX"``/``"UN"`` if ``node`` is an flock/lockf call, else ``None``."""
+    if not (isinstance(node, ast.Call) and len(node.args) >= 2):
+        return None
+    chain = dotted_chain(node.func)
+    if not chain or chain[-1] not in _LOCK_FNS:
+        return None
+    modes = _mode_names(node.args[1])
+    if "LOCK_EX" in modes:
+        return "EX"
+    if "LOCK_UN" in modes:
+        return "UN"
+    return None
+
+
+def _fd_token(node: ast.expr) -> str:
+    """Canonical text for the locked fd; ``fh.fileno()`` collapses to ``fh``."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "fileno"
+        and not node.args
+    ):
+        node = node.func.value
+    return ast.dump(node)
+
+
+def _closes_fd(node: ast.AST, fd_token: str) -> bool:
+    """True for ``os.close(fd)`` / ``fd.close()`` on the same fd expression."""
+    if not isinstance(node, ast.Call):
+        return False
+    chain = dotted_chain(node.func)
+    if chain and chain[-1] == "close" and len(chain) >= 2 and node.args == []:
+        # fd.close(): the receiver is everything but the final ".close"
+        receiver = node.func
+        if isinstance(receiver, ast.Attribute):
+            return _fd_token(receiver.value) == fd_token
+    if chain == ("os", "close") or (len(chain) == 1 and chain[0] == "close"):
+        return bool(node.args) and _fd_token(node.args[0]) == fd_token
+    return False
+
+
+def _unlocks_fd(node: ast.AST, fd_token: str) -> bool:
+    if _lock_call(node) != "UN":
+        return False
+    assert isinstance(node, ast.Call)
+    return _fd_token(node.args[0]) == fd_token
+
+
+class Lock001FlockDiscipline(Rule):
+    id = "LOCK001"
+    title = "flock(LOCK_EX) without unlock+close in a finally"
+    incident = (
+        "PR 8: journal_append released its exclusive flock in a finally "
+        "but closed the buffered appender via `with` *after* the unlock; "
+        "a partial-write error made the close flush buffered bytes "
+        "outside the lock, tearing concurrent journal records.  Fixed by "
+        "raw-fd appends with unlock and os.close both in finally blocks."
+    )
+
+    def check(self, module: "Module", project: "Project") -> Iterator["Finding"]:
+        for node in ast.walk(module.tree):
+            if _lock_call(node) != "EX":
+                continue
+            assert isinstance(node, ast.Call)
+            fd_token = _fd_token(node.args[0])
+            # The unlock often lives in a *sibling* nested try (lock, then
+            # try/finally around the writes), so search every `finally`
+            # in the enclosing function, not just ancestor tries.
+            scope = module.enclosing_function(node) or module.tree
+            finally_bodies: List[ast.stmt] = []
+            for sub in ast.walk(scope):
+                if isinstance(sub, ast.Try):
+                    finally_bodies.extend(sub.finalbody)
+            unlock_seen = close_seen = False
+            for stmt in finally_bodies:
+                for sub in ast.walk(stmt):
+                    unlock_seen = unlock_seen or _unlocks_fd(sub, fd_token)
+                    close_seen = close_seen or _closes_fd(sub, fd_token)
+            if not unlock_seen:
+                yield module.finding(
+                    self.id,
+                    node,
+                    "exclusive flock is never released in a `finally`: any "
+                    "exception between lock and unlock wedges every later "
+                    "locker of this file for the life of the process",
+                )
+            elif not close_seen:
+                yield module.finding(
+                    self.id,
+                    node,
+                    "locked fd is not closed in a `finally`: a close that "
+                    "runs after the unlock (e.g. leaving a `with open(...)` "
+                    "block) can flush buffered bytes outside the lock -- the "
+                    "PR 8 torn-journal bug.  Close (os.close) in a finally, "
+                    "or write through an unbuffered fd",
+                )

@@ -1,0 +1,157 @@
+"""WIRE001: experiment grids must survive the canonical JSON round-trip.
+
+Grid points are cache keys *and* wire jobs: ``canonical_params``
+(``repro/experiments/registry.py``) JSON-encodes every point, and the
+encoded form travels over SSH pipes and scheduler spool files to remote
+workers.  A value that cannot round-trip -- a set, ``bytes``, a
+``range``, a non-string dict key, a non-finite float -- either crashes
+at grid-build time or (worse, for ``{1: ...}`` -> ``{"1": ...}``) decodes
+*differently* than it was written, so the remote worker computes a
+different point than the submit side cached.  ``canonical_params``
+rejects these dynamically at run time; this rule rejects them statically
+at the line that writes them, including grids only exercised at
+``--scale full`` which no CI lane ever builds.
+
+The rule inspects functions registered as ``grid=`` in an
+``Experiment(...)`` call (plus anything named ``grid``/``_grid`` in
+scope), checking parameter defaults and every dict display reachable
+from a ``return``/``yield``.  Values it cannot see statically (names,
+call results) are skipped -- ``canonical_params`` remains the runtime
+backstop.  Tuples are fine: the canonical form normalizes them to lists.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional, Set
+
+from repro.lint.rules import Rule, dotted_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import Finding, Module, Project
+
+__all__ = ["Wire001GridJsonSafety"]
+
+_BAD_CONSTRUCTORS = frozenset({"set", "frozenset", "bytes", "bytearray", "range"})
+_NONFINITE_LITERALS = frozenset({"inf", "-inf", "infinity", "-infinity", "nan"})
+
+
+def _grid_function_names(tree: ast.Module) -> Set[str]:
+    names = {"grid", "_grid"}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            chain = dotted_chain(node.func)
+            if chain and chain[-1] == "Experiment":
+                for keyword in node.keywords:
+                    if keyword.arg == "grid" and isinstance(keyword.value, ast.Name):
+                        names.add(keyword.value.id)
+    return names
+
+
+def _bad_value_reason(node: ast.expr) -> Optional[str]:
+    """Why this expression cannot survive the JSON round-trip, if visible."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set is not JSON-serializable (and iterates in hash order)"
+    if isinstance(node, ast.Constant) and isinstance(node.value, bytes):
+        return "bytes are not JSON-serializable"
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        if node.value != node.value or node.value in (float("inf"), float("-inf")):
+            return "non-finite floats are rejected by canonical_params"
+    if isinstance(node, ast.Call):
+        chain = dotted_chain(node.func)
+        if len(chain) == 1 and chain[0] in _BAD_CONSTRUCTORS:
+            return f"{chain[0]}() is not JSON-serializable"
+        if (
+            len(chain) == 1
+            and chain[0] == "float"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and node.args[0].value.lower() in _NONFINITE_LITERALS
+        ):
+            return "non-finite floats are rejected by canonical_params"
+    chain = dotted_chain(node)
+    if len(chain) == 2 and chain[0] == "math" and chain[1] in ("inf", "nan"):
+        return "non-finite floats are rejected by canonical_params"
+    return None
+
+
+def _walk_values(node: ast.expr) -> Iterator[ast.expr]:
+    """The expression plus every nested display element it contains."""
+    yield node
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        for elt in node.elts:
+            yield from _walk_values(elt)
+    elif isinstance(node, ast.Dict):
+        for value in node.values:
+            yield from _walk_values(value)
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        yield from _walk_values(node.elt)
+    elif isinstance(node, ast.DictComp):
+        yield from _walk_values(node.value)
+
+
+class Wire001GridJsonSafety(Rule):
+    id = "WIRE001"
+    title = "grid values that cannot survive the canonical JSON round-trip"
+    incident = (
+        "Preventive, from the PR 2 wire-safety work: canonical_params "
+        "rejects non-round-trippable grid points at run time precisely "
+        "because a {1: ...} key decoding as {'1': ...} once meant the "
+        "remote worker and the cache disagreed about which point was "
+        "being computed.  Full-scale grids that CI never builds deserve "
+        "the same check statically."
+    )
+
+    def check(self, module: "Module", project: "Project") -> Iterator["Finding"]:
+        config = project.config
+        if not config.in_scope(module.name, config.wire_scopes):
+            return
+        grid_names = _grid_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FunctionDef) and node.name in grid_names:
+                yield from self._check_grid_function(module, node)
+
+    def _check_grid_function(
+        self, module: "Module", func: ast.FunctionDef
+    ) -> Iterator["Finding"]:
+        defaults = list(func.args.defaults) + [
+            d for d in func.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            yield from self._check_expr(module, default, "parameter default")
+        for node in ast.walk(func):
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Return):
+                value = node.value
+            elif isinstance(node, ast.Yield):
+                value = node.value
+            if value is not None:
+                yield from self._check_expr(module, value, "grid point")
+
+    def _check_expr(
+        self, module: "Module", expr: ast.expr, where: str
+    ) -> Iterator["Finding"]:
+        for node in _walk_values(expr):
+            reason = _bad_value_reason(node)
+            if reason is not None:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"{where} cannot travel as a wire job: {reason}; grid "
+                    "points must round-trip through canonical_params JSON",
+                )
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if (
+                        isinstance(key, ast.Constant)
+                        and not isinstance(key.value, str)
+                    ):
+                        yield module.finding(
+                            self.id,
+                            key,
+                            f"dict key {key.value!r} in a {where} becomes the "
+                            f"string {str(key.value)!r} after the JSON "
+                            "round-trip, so the remote worker computes a "
+                            "different point than was cached; use string keys",
+                        )

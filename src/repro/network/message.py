@@ -36,7 +36,10 @@ class NodeId:
     def __init__(self, cluster: int, node: int):
         self.cluster = cluster
         self.node = node
-        self._hash = hash((cluster, node))
+        # Cached for __hash__ below; only used for process-local dict/set
+        # placement, never ordered or persisted, so PYTHONHASHSEED
+        # variance cannot leak out.
+        self._hash = hash((cluster, node))  # repro-lint: ignore[DET002] -- __hash__ cache, placement only
 
     def __hash__(self) -> int:
         return self._hash

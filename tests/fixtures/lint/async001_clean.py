@@ -1,0 +1,18 @@
+"""ASYNC001 negative fixture: the executor patterns the serve layer uses."""
+
+import asyncio
+import time
+
+
+async def handle_request(loop, registry, params):
+    await asyncio.sleep(0.05)  # silent: async sleep
+    # silent: blocking functions passed *by reference* to the executor --
+    # the call happens on a worker thread, not the loop
+    result = await loop.run_in_executor(None, registry.run_experiment, params)
+    await asyncio.to_thread(time.sleep, 0.01)
+    return result
+
+
+def sync_helper(path):
+    with open(path) as fh:  # silent: not an async def body
+        return fh.read()

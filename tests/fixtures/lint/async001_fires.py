@@ -1,0 +1,18 @@
+"""ASYNC001 positive fixture: blocking calls lexically on the event loop."""
+
+import subprocess
+import time
+from pathlib import Path
+
+
+async def handle_request(cmd, path):
+    time.sleep(0.05)  # fires: sync sleep on the loop
+    subprocess.run(cmd, check=False)  # fires: child-process wait on the loop
+    with open(path) as fh:  # fires: sync file IO on the loop
+        body = fh.read()
+    stats = Path(path).read_text()  # fires: .read_text on the loop
+    return body, stats
+
+
+async def compute_inline(registry, params):
+    return registry.run_experiment(params)  # fires: minutes of work inline

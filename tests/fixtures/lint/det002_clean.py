@@ -1,0 +1,16 @@
+"""DET002 negative fixture: hash() inside ``__hash__`` is the point."""
+
+
+class Key:
+    def __init__(self, cluster, node):
+        self.cluster = cluster
+        self.node = node
+
+    def __hash__(self):
+        return hash((self.cluster, self.node))  # silent: __hash__ body
+
+    def __eq__(self, other):
+        return (self.cluster, self.node) == (other.cluster, other.node)
+
+    def stable_key(self):
+        return (self.cluster, self.node)  # silent: derive a stable key

@@ -1,0 +1,9 @@
+"""DET002 positive fixture: hash()/id() outside ``__hash__`` fires."""
+
+
+def bucket(item, width):
+    return hash(item) % width  # fires: PYTHONHASHSEED-dependent placement
+
+
+def label(obj):
+    return f"obj-{id(obj)}"  # fires: address leaks into output

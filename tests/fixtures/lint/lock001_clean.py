@@ -1,0 +1,25 @@
+"""LOCK001 negative fixture: the fixed raw-fd appender shape.
+
+Mirrors ``repro/experiments/cache.py:_locked_append`` post-PR 8: raw
+``os.open`` fd (no buffered layer to flush late), unlock in the inner
+``finally``, ``os.close`` in the outer ``finally``.  The unlock lives in
+a *sibling* nested try relative to the flock call -- the rule must find
+it anywhere in the enclosing function, not just in ancestor tries.
+"""
+
+import fcntl
+import os
+
+
+def journal_append(path, record):
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)  # silent: unlock+close in finallys
+        try:
+            written = 0
+            while written < len(record):
+                written += os.write(fd, record[written:])
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)

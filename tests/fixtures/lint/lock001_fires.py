@@ -1,0 +1,28 @@
+"""LOCK001 positive fixture: the PR 8 pre-fix ``journal_append`` shape.
+
+``journal_append`` is (structurally) the exact code that shipped the
+torn-journal bug: exclusive flock on a *buffered* appender, unlock in a
+``finally`` -- but the ``with open(...)`` close runs after the unlock,
+so an error path flushes buffered bytes outside the lock.
+``lock_and_hope`` covers the other message: no unlock in any finally.
+"""
+
+import fcntl
+
+
+def journal_append(path, record):
+    with open(path, "ab") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)  # fires: close not in finally
+        try:
+            fh.write(record)
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+
+def lock_and_hope(fd, record):
+    import os
+
+    fcntl.flock(fd, fcntl.LOCK_EX)  # fires: unlock not in any finally
+    os.write(fd, record)
+    fcntl.flock(fd, fcntl.LOCK_UN)
+    os.close(fd)

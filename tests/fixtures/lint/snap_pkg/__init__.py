@@ -1,0 +1,7 @@
+"""SNAP001 fixture package: a miniature snapshot/restore import graph.
+
+``tests/test_lint.py`` lints this package with ``snapshot_roots``
+pointing at :mod:`snap_pkg.snapshot`, so the closure is ``snapshot`` +
+``restore`` while ``unrelated`` stays outside it -- proving SNAP001 is
+scoped by the *import closure*, not by directory.
+"""

@@ -1,0 +1,24 @@
+"""The PR 6 bug, reconstructed: ``is`` against interned sentinels.
+
+In one process the module-level string sentinel is interned and the
+identity test passes; after the coordinator round-trips through a
+checkpoint pickle, the restored phase string is equal-but-not-identical
+and every ``is`` below goes quietly false.
+"""
+
+_COMMITTING = "committing"
+_WEDGED = "wedged"
+
+
+def resume(coordinator):
+    if coordinator.phase is _COMMITTING:  # fires: sentinel identity
+        coordinator.finish_commit()
+    if coordinator.phase is not _WEDGED:  # fires: is not, same hazard
+        coordinator.resume_clc()
+    # fires: int-literal identity (noqa keeps the seeded bug ruff-clean)
+    if coordinator.retries is 0:  # noqa: F632
+        coordinator.rearm()
+    if coordinator.phase == _COMMITTING:  # silent: equality is the fix
+        coordinator.finish_commit()
+    if coordinator.pending is None:  # silent: None identity survives pickle
+        coordinator.rearm()

@@ -1,0 +1,7 @@
+"""Closure root: pickles coordinator state, pulling in ``restore``."""
+
+from snap_pkg import restore
+
+
+def capture(coordinator):
+    return {"phase": coordinator.phase, "restorer": restore.resume.__name__}

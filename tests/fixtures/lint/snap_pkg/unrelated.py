@@ -1,0 +1,14 @@
+"""Outside the snapshot closure: the same pattern must NOT fire here.
+
+Nothing in :mod:`snap_pkg.snapshot`'s import graph reaches this module,
+so its objects can never cross a pickle boundary and ``is`` against an
+interned sentinel -- while still in questionable taste -- is not the
+PR 6 hazard.  SNAP001 staying silent here is what the scoping test
+asserts.
+"""
+
+_LOCAL = "local"
+
+
+def same_process_only(state):
+    return state is _LOCAL  # silent: module is outside the closure

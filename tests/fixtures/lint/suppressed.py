@@ -1,0 +1,21 @@
+"""Suppression-syntax fixture: every finding here is waived inline.
+
+Exercises single-rule, multi-rule (comma-separated), and justified
+suppressions; ``tests/test_lint.py`` asserts zero *unsuppressed*
+findings but a non-empty ``suppressed`` list for this file, plus that
+a suppression for rule A does not silence rule B on another line.
+"""
+
+import random
+
+
+def bucket(item, width):
+    return hash(item) % width  # repro-lint: ignore[DET002] -- fixture waiver
+
+
+def entropy_pair(items):
+    return hash(random.random())  # repro-lint: ignore[DET001, DET002]
+
+
+def wrong_rule_named(obj):
+    return id(obj)  # repro-lint: ignore[DET001] -- names the WRONG rule; DET002 still fires

@@ -1,0 +1,20 @@
+"""WIRE001 negative fixture: a grid that round-trips canonical JSON."""
+
+
+def grid(scale="smoke"):
+    if scale == "full":
+        return [{"seed": s, "protocol": "hc3i"} for s in range(2, 10)]
+    return [
+        {"seed": 1, "levels": [1, 2], "protocol": "hc3i"},
+        {"timeout": 30.0, "ratio": 0.5},
+        {"shape": (4, 2)},  # silent: canonical_params normalizes tuples
+    ]
+
+
+def _grid():
+    yield {"replicas": ["a", "b"]}
+
+
+def helper_uses_sets_internally(nodes):
+    # silent: not a grid function -- sets are fine as internal scratch
+    return sorted(set(nodes))

@@ -1,0 +1,45 @@
+"""WIRE001 positive fixture: grid values that cannot travel as wire jobs.
+
+The rule inspects parameter defaults and ``return``/``yield``
+expressions, so every seeded violation sits directly in one of those
+(a grid returning a name built elsewhere is a documented blind spot --
+``canonical_params`` stays the runtime backstop).
+"""
+
+import math
+
+
+class Experiment:
+    """Stand-in for ``repro.experiments.registry.Experiment`` (never run)."""
+
+    def __init__(self, name, grid, point):
+        self.name, self.grid, self.point = name, grid, point
+
+
+def grid(scale="smoke"):
+    return [
+        {"seed": 1, "levels": {1, 2}},  # fires: set display
+        {"timeout": float("inf")},  # fires: non-finite float
+        {"payload": b"raw"},  # fires: bytes
+        {"steps": range(4)},  # fires: range()
+        {"mask": frozenset([3])},  # fires: frozenset()
+        {"weight": math.nan},  # fires: math.nan
+        {1: "one"},  # fires: non-str dict key
+        {"scale": scale},
+    ]
+
+
+def _grid():
+    yield {"replicas": set()}  # fires: set() in a yielded point
+
+
+# fires (set parameter default); noqa keeps the seeded B006 ruff-clean
+def sweep_points(limit={"cap", "hard"}):  # noqa: B006
+    return [{"limit": sorted(limit)}]
+
+
+def _point(params):
+    return params
+
+
+EXPERIMENT = Experiment(name="wire-fixture", grid=sweep_points, point=_point)

@@ -129,7 +129,7 @@ class TestReporting:
         )
         lines = text.splitlines()
         assert lines[0] == "T"
-        assert len(set(len(line) for line in lines[1:])) == 1  # aligned widths
+        assert len({len(line) for line in lines[1:]}) == 1  # aligned widths
 
     def test_format_table_floats(self):
         text = format_table(["x"], [(1.5,), (2.0,)])

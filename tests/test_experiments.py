@@ -25,7 +25,7 @@ HOUR = 3600.0
 
 # Reduced scale used everywhere in this module: 10x fewer nodes, 1/5 the
 # duration -> runs in well under a second each.
-SMALL = dict(nodes=10, total_time=2 * HOUR)
+SMALL = {"nodes": 10, "total_time": 2 * HOUR}
 
 
 class TestTable1:

@@ -71,7 +71,7 @@ class TestParallelMap:
         """The fig6/7 sweep gives identical numbers both ways."""
         from repro.experiments.fig6_fig7 import clc_delay_sweep
 
-        kwargs = dict(delays_min=[10, 30], nodes=5, total_time=3600.0, seed=3)
+        kwargs = {"delays_min": [10, 30], "nodes": 5, "total_time": 3600.0, "seed": 3}
         serial = clc_delay_sweep(parallel=False, **kwargs)
         para = clc_delay_sweep(parallel=True, **kwargs)
         assert serial.series == para.series
